@@ -1,0 +1,41 @@
+//! Microbenchmark: the collection pipeline — one multiplexed PMU
+//! sampling window, and a full per-sample collection (the inner loop of
+//! every table/figure experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbmd_malware::{AppClass, Sample, SampleId};
+use hbmd_perf::{Pmu, PmuConfig, Sampler, SamplerConfig};
+use hbmd_uarch::{Cpu, CpuConfig, StreamParams, SyntheticStream};
+
+fn bench_pmu_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect");
+    group.sample_size(20);
+
+    group.bench_function("pmu_window_20k_multiplexed", |b| {
+        b.iter(|| {
+            let mut pmu = Pmu::new(PmuConfig::haswell_collected()).expect("valid");
+            let mut cpu = Cpu::new(CpuConfig::haswell());
+            let mut stream = SyntheticStream::new(StreamParams::balanced(), 3);
+            pmu.measure_window(&mut cpu, &mut stream, 20_000)
+        });
+    });
+
+    group.bench_function("pmu_window_20k_exact", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuConfig::haswell());
+            let mut stream = SyntheticStream::new(StreamParams::balanced(), 3);
+            Pmu::measure_window_exact(&mut cpu, &mut stream, 20_000)
+        });
+    });
+
+    group.bench_function("sample_16_windows_paper", |b| {
+        let sampler = Sampler::new(SamplerConfig::paper()).expect("valid");
+        let sample = Sample::generate(SampleId(1), AppClass::Virus, 9);
+        b.iter(|| sampler.collect_sample(&sample));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmu_window);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbenchmark: PCA fitting and attribute ranking — the feature-
+//! reduction step behind Table 2 and Figures 8–12.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbmd_bench::config_at_scale;
+use hbmd_core::{to_binary_dataset, FeaturePlan};
+use hbmd_ml::Pca;
+
+fn bench_pca(c: &mut Criterion) {
+    let mut config = config_at_scale(0.05);
+    config.collector.sampler.windows_per_sample = 4;
+    let hpc = config.collect();
+    let data = to_binary_dataset(&hpc);
+
+    let mut group = c.benchmark_group("pca");
+    group.sample_size(20);
+
+    group.bench_function("fit_16x16", |b| {
+        b.iter(|| Pca::fit(&data).expect("fit"));
+    });
+
+    let pca = Pca::fit(&data).expect("fit");
+    group.bench_function("rank_attributes", |b| {
+        b.iter(|| pca.rank_attributes(0.95));
+    });
+
+    group.bench_function("feature_plan_per_class", |b| {
+        b.iter(|| FeaturePlan::fit(&hpc).expect("plan"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pca);
+criterion_main!(benches);

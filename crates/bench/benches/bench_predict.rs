@@ -1,0 +1,47 @@
+//! Microbenchmark: per-window inference latency of every trained
+//! classifier — the software analogue of the Figure 15 hardware latency
+//! comparison (the ordering should rhyme: rules fast, kNN slow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbmd_bench::config_at_scale;
+use hbmd_core::{to_binary_dataset, ClassifierKind, TrainedModel};
+use hbmd_ml::{Classifier, Dataset};
+
+fn training_data() -> Dataset {
+    let mut config = config_at_scale(0.05);
+    config.collector.sampler.windows_per_sample = 4;
+    let dataset = config.collect();
+    to_binary_dataset(&dataset)
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = training_data();
+    let probe: Vec<f64> = data.rows()[0].clone();
+
+    let mut suite: Vec<TrainedModel> = Vec::new();
+    for kind in ClassifierKind::binary_suite() {
+        let mut model = kind.instantiate();
+        model.fit(&data).expect("fit");
+        suite.push(model);
+    }
+    // IBk separately: its per-query cost is the point of the paper's
+    // instance-based criticism.
+    let mut knn = ClassifierKind::Ibk.instantiate();
+    knn.fit(&data).expect("fit");
+    suite.push(knn);
+
+    let mut group = c.benchmark_group("predict");
+    for model in &suite {
+        group.bench_with_input(
+            BenchmarkId::new("window", model.name()),
+            model,
+            |b, model| {
+                b.iter(|| model.predict(&probe));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbenchmark: training cost of every classifier in the binary
+//! suite on an identical dataset — the software-side cost behind the
+//! Figure 13 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbmd_bench::config_at_scale;
+use hbmd_core::{to_binary_dataset, ClassifierKind};
+use hbmd_ml::{Classifier, Dataset};
+
+fn training_data() -> Dataset {
+    let mut config = config_at_scale(0.05);
+    config.collector.sampler.windows_per_sample = 4;
+    let dataset = config.collect();
+    to_binary_dataset(&dataset)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = training_data();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+
+    for kind in ClassifierKind::binary_suite() {
+        group.bench_with_input(BenchmarkId::new("fit", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut model = kind.instantiate();
+                model.fit(&data).expect("fit");
+                model
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,600 @@
+//! `repro` — regenerate every table and figure of the reference
+//! evaluation.
+//!
+//! ```text
+//! repro [--scale F] [--paper] <experiment>...
+//!
+//! experiments:
+//!   table1 table2 fig6 fig8 fig9 fig10 fig11 fig12
+//!   fig13 fig14 fig15 fig16 fig17 fig18 fig19
+//!   ablate-ensemble ablate-mux ablate-noise ablate-features
+//!   ablate-mlp ablate-prefetch
+//!   all
+//! ```
+//!
+//! `--scale F` shrinks the catalog to a fraction `F` (default 0.2);
+//! `--paper` runs the full 3,070-sample catalog. All randomness is
+//! seeded, so repeated runs at the same scale are identical.
+
+use std::process::ExitCode;
+
+use hbmd_bench::{config_at_scale, pct, TextTable};
+use hbmd_core::experiments::{self, binary, ensemble, hardware, latency, multiclass, pca, roc, ExperimentConfig};
+use hbmd_core::{to_binary_dataset, ClassifierKind, FeaturePlan, FeatureSet};
+use hbmd_fpga::SynthConfig;
+use hbmd_malware::AppClass;
+use hbmd_ml::{Classifier, Evaluation};
+use hbmd_perf::PmuConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.2f64;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 && f <= 1.0 => scale = f,
+                _ => {
+                    eprintln!("--scale needs a fraction in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--paper" => scale = 1.0,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => experiments.push(other.to_owned()),
+        }
+    }
+    if experiments.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "fig6", "fig8", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablate-ensemble",
+            "ablate-mux", "ablate-noise", "ablate-features", "ablate-mlp", "ablate-prefetch",
+            "roc", "detect-latency",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    }
+
+    let config = config_at_scale(scale);
+    println!(
+        "# hbmd repro — catalog scale {scale} ({} samples), {} windows x {} instructions\n",
+        config.catalog().len(),
+        config.collector.sampler.windows_per_sample,
+        config.collector.sampler.instructions_per_window,
+    );
+
+    for experiment in &experiments {
+        let result = run(experiment, &config);
+        if let Err(e) = result {
+            eprintln!("{experiment}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    println!(
+        "usage: repro [--scale F | --paper] <experiment>...\n\
+         experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
+         \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
+         \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
+         \x20            roc detect-latency emit-hdl all"
+    );
+}
+
+fn run(experiment: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    match experiment {
+        "table1" => table1(config),
+        "fig6" => fig6(config),
+        "table2" => table2(config)?,
+        "fig8" => fig8(config)?,
+        "fig9" => scatter(config, AppClass::Rootkit, "Figure 9")?,
+        "fig10" => scatter(config, AppClass::Trojan, "Figure 10")?,
+        "fig11" => scatter(config, AppClass::Virus, "Figure 11")?,
+        "fig12" => scatter(config, AppClass::Worm, "Figure 12")?,
+        "fig13" => fig13(config)?,
+        "fig14" | "fig15" | "fig16" => hardware_figures(config, experiment)?,
+        "fig17" | "fig18" => multiclass_figures(config, experiment)?,
+        "fig19" => fig19(config)?,
+        "ablate-ensemble" => ablate_ensemble(config)?,
+        "roc" => roc_analysis(config)?,
+        "detect-latency" => detect_latency(config)?,
+        "emit-hdl" => emit_hdl(config)?,
+        "ablate-prefetch" => ablate_prefetch(config)?,
+        "ablate-mux" => ablate_mux(config)?,
+        "ablate-noise" => ablate_noise(config)?,
+        "ablate-features" => ablate_features(config)?,
+        "ablate-mlp" => ablate_mlp(config)?,
+        other => return Err(format!("unknown experiment `{other}`").into()),
+    }
+    Ok(())
+}
+
+fn table1(config: &ExperimentConfig) {
+    println!("## Table 1: samples per application class");
+    println!("paper: backdoor 452, rootkit 324, trojan 1169, virus 650, worm 149, benign 326 (3,070 total)");
+    let rows = experiments::census(config);
+    let mut table = TextTable::new(vec!["class", "samples", "share", "dataset rows"]);
+    let mut total = 0usize;
+    for row in &rows {
+        total += row.samples;
+        table.row(vec![
+            row.class.to_string(),
+            row.samples.to_string(),
+            pct(row.share),
+            row.dataset_rows.to_string(),
+        ]);
+    }
+    table.row(vec!["total".to_owned(), total.to_string(), String::new(), String::new()]);
+    print!("{}", table.render());
+}
+
+fn fig6(config: &ExperimentConfig) {
+    println!("## Figure 6: class distribution of the database");
+    println!("paper: trojan-dominated, mirroring the in-the-wild distribution (Figure 3)");
+    let rows = experiments::census(config);
+    let mut table = TextTable::new(vec!["class", "share", "bar"]);
+    for row in &rows {
+        let bar = "#".repeat((row.share * 60.0).round() as usize);
+        table.row(vec![row.class.to_string(), pct(row.share), bar]);
+    }
+    print!("{}", table.render());
+}
+
+fn table2(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Table 2: PCA-reduced features per class");
+    println!("paper: 4 common features + custom 8 per malware class");
+    let result = pca::table2(config)?;
+    println!("common features: {}", result.common.join(", "));
+    let mut table = TextTable::new(vec!["class", "custom top-8 features"]);
+    for (class, features) in &result.per_class {
+        table.row(vec![class.to_string(), features.join(", ")]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn fig8(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Figure 8: PCA eigen summary (WEKA PrincipalComponents -R 0.95)");
+    let summary = pca::eigen_summary(config)?;
+    println!(
+        "components for 95% variance: {} of 16",
+        summary.components_for_95
+    );
+    let mut table = TextTable::new(vec!["rank", "attribute", "score", "eigenvalue", "explained"]);
+    for (i, (name, score)) in summary.ranking.iter().enumerate() {
+        table.row(vec![
+            (i + 1).to_string(),
+            name.clone(),
+            format!("{score:.4}"),
+            format!("{:.4}", summary.eigenvalues[i]),
+            pct(summary.explained[i]),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn scatter(
+    config: &ExperimentConfig,
+    class: AppClass,
+    figure: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## {figure}: PCA plot for {class} (top-2 components, class vs benign)");
+    let points = pca::scatter(config, class)?;
+    // Render as a coarse ASCII density plot: 'b' benign, 'm' malware,
+    // '*' both.
+    let (width, height) = (64usize, 20usize);
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in &points {
+        min_x = min_x.min(p.pc1);
+        max_x = max_x.max(p.pc1);
+        min_y = min_y.min(p.pc2);
+        max_y = max_y.max(p.pc2);
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for p in &points {
+        let x = ((p.pc1 - min_x) / (max_x - min_x).max(1e-12) * (width - 1) as f64) as usize;
+        let y = ((p.pc2 - min_y) / (max_y - min_y).max(1e-12) * (height - 1) as f64) as usize;
+        let cell = &mut grid[height - 1 - y][x];
+        let mark = if p.malware { 'm' } else { 'b' };
+        *cell = match (*cell, mark) {
+            (' ', m) => m,
+            (existing, m) if existing == m => m,
+            _ => '*',
+        };
+    }
+    let malware_mean: f64 = points.iter().filter(|p| p.malware).map(|p| p.pc1).sum::<f64>()
+        / points.iter().filter(|p| p.malware).count().max(1) as f64;
+    let benign_mean: f64 = points.iter().filter(|p| !p.malware).map(|p| p.pc1).sum::<f64>()
+        / points.iter().filter(|p| !p.malware).count().max(1) as f64;
+    for line in grid {
+        println!("|{}|", line.into_iter().collect::<String>());
+    }
+    println!(
+        "PC1 centroid separation: {:.2} ({} points; b=benign, m={}, *=overlap)",
+        (malware_mean - benign_mean).abs(),
+        points.len(),
+        class
+    );
+    Ok(())
+}
+
+fn fig13(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Figure 13: binary accuracy, 16 vs PCA top-8 vs top-4 features");
+    println!("paper: most classifiers dip slightly at 4 features; J48/OneR barely move");
+    let rows = binary::accuracy_comparison(config)?;
+    let mut table = TextTable::new(vec!["classifier", "16 features", "8 features", "4 features", "8->4 cost"]);
+    for row in &rows {
+        table.row(vec![
+            row.scheme.to_string(),
+            pct(row.accuracy_full),
+            pct(row.accuracy_top8),
+            pct(row.accuracy_top4),
+            format!("{:+.1}pp", row.reduction_cost() * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn hardware_figures(
+    config: &ExperimentConfig,
+    which: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = hardware::comparison(config, &SynthConfig::default())?;
+    match which {
+        "fig14" => {
+            println!("## Figure 14: FPGA area comparison (8 vs 4 features)");
+            println!("paper: OneR/JRip tiny; MLP an order of magnitude larger");
+            let mut table = TextTable::new(vec![
+                "classifier",
+                "area (8f)",
+                "area (4f)",
+                "LUT/FF/DSP/BRAM (8f)",
+            ]);
+            for row in &rows {
+                let r = &row.top8.report.resources;
+                table.row(vec![
+                    row.scheme.to_string(),
+                    format!("{:.0}", row.top8.report.area_units()),
+                    format!("{:.0}", row.top4.report.area_units()),
+                    format!("{}/{}/{}/{}", r.luts, r.ffs, r.dsps, r.brams),
+                ]);
+            }
+            print!("{}", table.render());
+        }
+        "fig15" => {
+            println!("## Figure 15: FPGA latency comparison (8 vs 4 features)");
+            println!("paper: rule learners in a couple of cycles; networks slower");
+            let mut table = TextTable::new(vec![
+                "classifier",
+                "cycles (8f)",
+                "latency ns (8f)",
+                "cycles (4f)",
+                "power mW (8f)",
+            ]);
+            for row in &rows {
+                table.row(vec![
+                    row.scheme.to_string(),
+                    row.top8.report.latency_cycles.to_string(),
+                    format!("{:.0}", row.top8.report.latency_ns()),
+                    row.top4.report.latency_cycles.to_string(),
+                    format!("{:.1}", row.top8.report.power_mw),
+                ]);
+            }
+            print!("{}", table.render());
+        }
+        _ => {
+            println!("## Figure 16: accuracy/area comparison (8 vs 4 features)");
+            println!("paper: JRip and OneR dominate the figure of merit");
+            let mut table = TextTable::new(vec![
+                "classifier",
+                "acc (8f)",
+                "acc/area (8f)",
+                "acc (4f)",
+                "acc/area (4f)",
+            ]);
+            for row in &rows {
+                table.row(vec![
+                    row.scheme.to_string(),
+                    pct(row.top8.accuracy),
+                    format!("{:.3}", row.top8.accuracy_per_area()),
+                    pct(row.top4.accuracy),
+                    format!("{:.3}", row.top4.accuracy_per_area()),
+                ]);
+            }
+            print!("{}", table.render());
+        }
+    }
+    Ok(())
+}
+
+fn multiclass_figures(
+    config: &ExperimentConfig,
+    which: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = multiclass::accuracy_comparison(config)?;
+    if which == "fig17" {
+        println!("## Figure 17: average multiclass accuracy (MLR / MLP / SVM)");
+        println!("paper: the neural network (MLP) leads the multiclass comparison");
+        let mut table = TextTable::new(vec!["classifier", "average accuracy"]);
+        for row in &rows {
+            table.row(vec![row.scheme.to_string(), pct(row.average_accuracy)]);
+        }
+        print!("{}", table.render());
+    } else {
+        println!("## Figure 18: per-class accuracy for the multiclass classifiers");
+        let mut headers = vec!["class"];
+        let names: Vec<String> = rows.iter().map(|r| r.scheme.to_string()).collect();
+        headers.extend(names.iter().map(String::as_str));
+        let mut table = TextTable::new(headers);
+        for class in AppClass::ALL {
+            let mut cells = vec![class.to_string()];
+            for row in &rows {
+                cells.push(pct(row.per_class[class.index()]));
+            }
+            table.row(cells);
+        }
+        print!("{}", table.render());
+    }
+    Ok(())
+}
+
+fn fig19(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Figure 19: PCA-assisted MLR vs normal MLR");
+    println!("paper: custom per-class 8-feature sets gain ~7pp over non-custom features");
+    let result = multiclass::pca_assisted_comparison(config)?;
+    let mut table = TextTable::new(vec!["variant", "accuracy"]);
+    table.row(vec!["MLR, all 16 features (context)".to_owned(), pct(result.plain_full_accuracy)]);
+    table.row(vec!["normal MLR, generic top-8".to_owned(), pct(result.plain_accuracy)]);
+    table.row(vec![
+        "PCA-assisted MLR, custom-8 per class".to_owned(),
+        pct(result.assisted_accuracy),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "improvement over non-custom reduction: {:+.1}pp overall, {:+.1}pp mean per-class",
+        result.improvement() * 100.0,
+        result.macro_improvement() * 100.0
+    );
+    let mut per_class = TextTable::new(vec!["class", "normal recall", "assisted recall"]);
+    for class in AppClass::ALL {
+        per_class.row(vec![
+            class.to_string(),
+            pct(result.plain_per_class[class.index()]),
+            pct(result.assisted_per_class[class.index()]),
+        ]);
+    }
+    print!("{}", per_class.render());
+    Ok(())
+}
+
+fn detect_latency(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Extension: run-time detection latency (windows to alarm)");
+    println!("(J48 detector, 4-window vote, 3-vote threshold, unseen specimens)");
+    let rows = latency::windows_to_alarm(config, 8, 32)?;
+    let mut table = TextTable::new(vec![
+        "family",
+        "detected",
+        "mean windows",
+        "mean ms (10ms/window)",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.class.to_string(),
+            format!("{}/{}", row.detected, row.observed),
+            if row.detected > 0 {
+                format!("{:.1}", row.mean_windows_to_alarm)
+            } else {
+                "-".to_owned()
+            },
+            if row.detected > 0 {
+                format!("{:.0}", row.mean_ms_to_alarm())
+            } else {
+                "-".to_owned()
+            },
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn roc_analysis(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Extension: ROC analysis of the score-producing detectors");
+    println!("(a deployed monitor is tuned to a false-positive budget, not peak accuracy)");
+    let rows = roc::comparison(config)?;
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "AUC",
+        "TPR @ 1% FPR",
+        "TPR @ 5% FPR",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.scheme.clone(),
+            format!("{:.4}", row.auc),
+            pct(row.at_1pct_fpr.tpr),
+            pct(row.at_5pct_fpr.tpr),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn emit_hdl(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## SystemVerilog skeletons for the trained rule learners");
+    let dataset = config.collect();
+    let (train_hpc, _) = dataset.split(0.7, config.split_seed);
+    let plan = FeaturePlan::fit(&train_hpc)?;
+    let indices = plan.resolve(FeatureSet::Top(8))?;
+    let train = to_binary_dataset(&train_hpc).select_features(&indices)?;
+    for kind in [ClassifierKind::OneR, ClassifierKind::JRip] {
+        let mut model = kind.instantiate();
+        model.fit(&train)?;
+        let rtl = hbmd_fpga::emit_system_verilog(&model.datapath()?, &SynthConfig::default());
+        println!("{rtl}");
+    }
+    Ok(())
+}
+
+fn ablate_ensemble(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Extension: ensemble learning (RAID'15 / DAC'18 follow-ups)");
+    println!("(single learners vs boosting, bagging and random forests, top-8 features)");
+    let rows = ensemble::comparison(config)?;
+    let mut table = TextTable::new(vec!["scheme", "accuracy", "area", "latency cyc", "acc/area"]);
+    for row in &rows {
+        table.row(vec![
+            row.scheme.to_string(),
+            pct(row.accuracy),
+            format!("{:.0}", row.area_units),
+            row.latency_cycles.to_string(),
+            format!("{:.3}", row.accuracy_per_area()),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn ablate_prefetch(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Ablation: L1D next-line prefetcher vs counter signal");
+    println!("(prefetching shifts traffic from demand misses to prefetch references)");
+    let mut table = TextTable::new(vec!["cpu model", "J48 accuracy", "Logistic accuracy"]);
+    for (label, cpu) in [
+        ("no prefetcher (paper model)", hbmd_uarch::CpuConfig::haswell()),
+        ("next-line L1D prefetcher", hbmd_uarch::CpuConfig::haswell_prefetch()),
+    ] {
+        let mut variant = config.clone();
+        variant.collector.sampler.cpu = cpu;
+        let dataset = variant.collect();
+        let (train_hpc, test_hpc) = dataset.split(0.7, variant.split_seed);
+        let train = to_binary_dataset(&train_hpc);
+        let test = to_binary_dataset(&test_hpc);
+        let mut accs = Vec::new();
+        for kind in [ClassifierKind::J48, ClassifierKind::Logistic] {
+            let mut model = kind.instantiate();
+            model.fit(&train)?;
+            accs.push(Evaluation::of(&model, &test).accuracy());
+        }
+        table.row(vec![label.to_owned(), pct(accs[0]), pct(accs[1])]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn ablate_mux(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Ablation: PMU multiplexing pressure vs detection accuracy");
+    println!("(design note: counter scaling noise is part of the measured signal)");
+    let variants: [(&str, Option<PmuConfig>); 3] = [
+        ("exact counting (no PMU sharing)", None),
+        ("16 events on 8 counters (paper)", Some(PmuConfig::haswell_collected())),
+        ("52 events on 8 counters (full catalog)", Some(PmuConfig::haswell_full())),
+    ];
+    let mut table = TextTable::new(vec!["pmu mode", "J48 accuracy", "Logistic accuracy"]);
+    for (label, pmu) in variants {
+        let mut variant = config.clone();
+        variant.collector.sampler.pmu = pmu;
+        let dataset = variant.collect();
+        let (train_hpc, test_hpc) = dataset.split(0.7, variant.split_seed);
+        let train = to_binary_dataset(&train_hpc);
+        let test = to_binary_dataset(&test_hpc);
+        let mut accs = Vec::new();
+        for kind in [ClassifierKind::J48, ClassifierKind::Logistic] {
+            let mut model = kind.instantiate();
+            model.fit(&train)?;
+            accs.push(Evaluation::of(&model, &test).accuracy());
+        }
+        table.row(vec![label.to_owned(), pct(accs[0]), pct(accs[1])]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn ablate_noise(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Ablation: container isolation vs shared-host noise");
+    println!("(the LXC containers' purpose: keep host activity out of the counters)");
+    let mut table = TextTable::new(vec!["host noise ratio", "J48 accuracy"]);
+    for noise in [0.0, 0.5, 1.0, 2.0] {
+        let mut variant = config.clone();
+        variant.collector.sampler.host_noise = noise;
+        let dataset = variant.collect();
+        let (train_hpc, test_hpc) = dataset.split(0.7, variant.split_seed);
+        let train = to_binary_dataset(&train_hpc);
+        let test = to_binary_dataset(&test_hpc);
+        let mut model = ClassifierKind::J48.instantiate();
+        model.fit(&train)?;
+        table.row(vec![
+            format!("{noise:.1}"),
+            pct(Evaluation::of(&model, &test).accuracy()),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn ablate_features(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Ablation: feature-count sweep (beyond the paper's 8 and 4)");
+    let dataset = config.collect();
+    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    let plan = FeaturePlan::fit(&train_hpc)?;
+    let train_full = to_binary_dataset(&train_hpc);
+    let test_full = to_binary_dataset(&test_hpc);
+    let mut table = TextTable::new(vec!["features", "J48 accuracy", "Logistic accuracy", "Logistic area"]);
+    for k in [2usize, 4, 8, 12, 16] {
+        let indices = plan.resolve(FeatureSet::Top(k))?;
+        let train = train_full.select_features(&indices)?;
+        let test = test_full.select_features(&indices)?;
+        let mut j48 = ClassifierKind::J48.instantiate();
+        j48.fit(&train)?;
+        let mut logistic = ClassifierKind::Logistic.instantiate();
+        logistic.fit(&train)?;
+        let area = hbmd_fpga::synthesize(&logistic.datapath()?, &SynthConfig::default())
+            .area_units();
+        table.row(vec![
+            k.to_string(),
+            pct(Evaluation::of(&j48, &test).accuracy()),
+            pct(Evaluation::of(&logistic, &test).accuracy()),
+            format!("{area:.0}"),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn ablate_mlp(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Ablation: MLP hidden width vs accuracy and area");
+    let dataset = config.collect();
+    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    let train = to_binary_dataset(&train_hpc);
+    let test = to_binary_dataset(&test_hpc);
+    let mut table = TextTable::new(vec!["hidden units", "accuracy", "area", "latency cycles"]);
+    for hidden in [2usize, 4, 9, 16, 32] {
+        let mut mlp = hbmd_ml::Mlp::with_hidden(hidden);
+        mlp.fit(&train)?;
+        let evaluation = Evaluation::of(&mlp, &test);
+        let report = hbmd_fpga::synthesize(
+            &hbmd_fpga::ToDatapath::datapath(&mlp)?,
+            &SynthConfig::default(),
+        );
+        table.row(vec![
+            hidden.to_string(),
+            pct(evaluation.accuracy()),
+            format!("{:.0}", report.area_units()),
+            report.latency_cycles.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}

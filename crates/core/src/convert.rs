@@ -1,0 +1,102 @@
+//! Conversions between the collection layer's [`HpcDataset`] and the
+//! ML layer's [`Dataset`].
+
+use hbmd_malware::AppClass;
+use hbmd_ml::Dataset;
+use hbmd_perf::HpcDataset;
+
+/// Class names of a binary detection dataset, indexed by label.
+pub const BINARY_CLASS_NAMES: [&str; 2] = ["benign", "malware"];
+
+/// Convert to a binary (benign = 0 / malware = 1) ML dataset.
+///
+/// # Panics
+///
+/// Panics when `hpc` is empty — an empty relation has no schema rows.
+pub fn to_binary_dataset(hpc: &HpcDataset) -> Dataset {
+    let feature_names: Vec<String> = HpcDataset::feature_names()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let class_names: Vec<String> = BINARY_CLASS_NAMES.iter().map(|s| (*s).to_owned()).collect();
+    let mut data = Dataset::new(feature_names, class_names).expect("static schema is valid");
+    for row in hpc.rows() {
+        data.push(
+            row.features.as_slice().to_vec(),
+            usize::from(row.class.is_malware()),
+        )
+        .expect("16 features per row");
+    }
+    data
+}
+
+/// Convert to a six-class (benign + five families) ML dataset with
+/// labels equal to [`AppClass::index`].
+pub fn to_multiclass_dataset(hpc: &HpcDataset) -> Dataset {
+    let feature_names: Vec<String> = HpcDataset::feature_names()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let class_names: Vec<String> = AppClass::ALL.iter().map(|c| c.name().to_owned()).collect();
+    let mut data = Dataset::new(feature_names, class_names).expect("static schema is valid");
+    for row in hpc.rows() {
+        data.push(row.features.as_slice().to_vec(), row.class.index())
+            .expect("16 features per row");
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbmd_events::FeatureVector;
+    use hbmd_malware::SampleId;
+    use hbmd_perf::DataRow;
+
+    fn hpc() -> HpcDataset {
+        let mut d = HpcDataset::new();
+        for (i, class) in [AppClass::Benign, AppClass::Worm, AppClass::Trojan]
+            .iter()
+            .enumerate()
+        {
+            let values: Vec<f64> = (0..16).map(|j| (i * 16 + j) as f64).collect();
+            d.push(DataRow {
+                sample: SampleId(i as u32),
+                class: *class,
+                features: FeatureVector::from_slice(&values).expect("16"),
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn binary_conversion_collapses_families() {
+        let data = to_binary_dataset(&hpc());
+        assert_eq!(data.num_classes(), 2);
+        assert_eq!(data.labels(), &[0, 1, 1]);
+        assert_eq!(data.num_features(), 16);
+        assert_eq!(data.feature_names()[0], "branch-instructions");
+    }
+
+    #[test]
+    fn multiclass_conversion_keeps_families() {
+        let data = to_multiclass_dataset(&hpc());
+        assert_eq!(data.num_classes(), 6);
+        assert_eq!(
+            data.labels(),
+            &[
+                AppClass::Benign.index(),
+                AppClass::Worm.index(),
+                AppClass::Trojan.index()
+            ]
+        );
+        assert_eq!(data.class_names()[5], "worm");
+    }
+
+    #[test]
+    fn feature_values_survive() {
+        let src = hpc();
+        let data = to_binary_dataset(&src);
+        assert_eq!(data.rows()[1][0], src.rows()[1].features.as_slice()[0]);
+    }
+}

@@ -1,0 +1,307 @@
+use hbmd_events::FeatureVector;
+use hbmd_fpga::{synthesize, HwReport, SynthConfig};
+use hbmd_malware::AppClass;
+use hbmd_ml::{Classifier, Evaluation};
+use hbmd_perf::HpcDataset;
+use serde::{Deserialize, Serialize};
+
+use crate::convert::{to_binary_dataset, to_multiclass_dataset};
+use crate::error::CoreError;
+use crate::features::{FeaturePlan, FeatureSet};
+use crate::suite::{ClassifierKind, TrainedModel};
+
+/// Detection granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorMode {
+    /// Benign vs malware.
+    Binary,
+    /// Benign plus the five malware families.
+    Multiclass,
+}
+
+/// A single sampling window's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The window looks benign.
+    Benign,
+    /// The window looks malicious; in multiclass mode the family is
+    /// identified.
+    Malware(AppClass),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Malware`].
+    pub fn is_malware(self) -> bool {
+        matches!(self, Verdict::Malware(_))
+    }
+}
+
+/// Builder for [`Detector`]: pick a classifier, a feature policy, and
+/// the split protocol, then train on a collected dataset.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_core::{ClassifierKind, DetectorBuilder, FeatureSet};
+/// use hbmd_malware::SampleCatalog;
+/// use hbmd_perf::{Collector, CollectorConfig};
+///
+/// let catalog = SampleCatalog::scaled(0.02, 11);
+/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let detector = DetectorBuilder::new()
+///     .classifier(ClassifierKind::OneR)
+///     .feature_set(FeatureSet::Top(4))
+///     .train_binary(&dataset)?;
+/// assert_eq!(detector.feature_indices().len(), 4);
+/// # Ok::<(), hbmd_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectorBuilder {
+    classifier: ClassifierKind,
+    feature_set: FeatureSet,
+    train_fraction: f64,
+    seed: u64,
+}
+
+impl DetectorBuilder {
+    /// Defaults: J48 on all 16 features, the paper's 70/30 split,
+    /// seed 42.
+    pub fn new() -> DetectorBuilder {
+        DetectorBuilder {
+            classifier: ClassifierKind::J48,
+            feature_set: FeatureSet::Full16,
+            train_fraction: 0.7,
+            seed: 42,
+        }
+    }
+
+    /// Choose the classifier scheme.
+    pub fn classifier(mut self, kind: ClassifierKind) -> DetectorBuilder {
+        self.classifier = kind;
+        self
+    }
+
+    /// Choose the feature policy.
+    pub fn feature_set(mut self, set: FeatureSet) -> DetectorBuilder {
+        self.feature_set = set;
+        self
+    }
+
+    /// Override the train fraction (0.7 in the paper).
+    pub fn train_fraction(mut self, fraction: f64) -> DetectorBuilder {
+        self.train_fraction = fraction;
+        self
+    }
+
+    /// Override the split seed.
+    pub fn seed(mut self, seed: u64) -> DetectorBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Train a benign/malware detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unusable split fraction and
+    /// propagates feature-plan and training errors.
+    pub fn train_binary(self, dataset: &HpcDataset) -> Result<Detector, CoreError> {
+        self.train(dataset, DetectorMode::Binary)
+    }
+
+    /// Train a six-class family detector.
+    ///
+    /// # Errors
+    ///
+    /// As [`DetectorBuilder::train_binary`].
+    pub fn train_multiclass(self, dataset: &HpcDataset) -> Result<Detector, CoreError> {
+        self.train(dataset, DetectorMode::Multiclass)
+    }
+
+    fn train(self, dataset: &HpcDataset, mode: DetectorMode) -> Result<Detector, CoreError> {
+        if !(self.train_fraction > 0.0 && self.train_fraction < 1.0) {
+            return Err(CoreError::Config(format!(
+                "train_fraction {} is outside (0, 1)",
+                self.train_fraction
+            )));
+        }
+        let (train_hpc, test_hpc) = dataset.split(self.train_fraction, self.seed);
+        let plan = FeaturePlan::fit(&train_hpc)?;
+        let indices = plan.resolve(self.feature_set)?;
+
+        let (train, test) = match mode {
+            DetectorMode::Binary => (
+                to_binary_dataset(&train_hpc).select_features(&indices)?,
+                to_binary_dataset(&test_hpc).select_features(&indices)?,
+            ),
+            DetectorMode::Multiclass => (
+                to_multiclass_dataset(&train_hpc).select_features(&indices)?,
+                to_multiclass_dataset(&test_hpc).select_features(&indices)?,
+            ),
+        };
+
+        let mut model = self.classifier.instantiate();
+        model.fit(&train)?;
+        let evaluation = Evaluation::of(&model, &test);
+
+        Ok(Detector {
+            model,
+            mode,
+            feature_indices: indices,
+            evaluation,
+        })
+    }
+}
+
+impl Default for DetectorBuilder {
+    fn default() -> DetectorBuilder {
+        DetectorBuilder::new()
+    }
+}
+
+/// A trained hardware-based malware detector: classifies one sampling
+/// window's feature vector in constant time, reports its held-out
+/// evaluation, and synthesises to hardware.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    model: TrainedModel,
+    mode: DetectorMode,
+    feature_indices: Vec<usize>,
+    evaluation: Evaluation,
+}
+
+impl Detector {
+    /// The detection granularity.
+    pub fn mode(&self) -> DetectorMode {
+        self.mode
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The feature columns consumed, in model input order.
+    pub fn feature_indices(&self) -> &[usize] {
+        &self.feature_indices
+    }
+
+    /// Held-out (30 %) evaluation computed at training time.
+    pub fn evaluation(&self) -> &Evaluation {
+        &self.evaluation
+    }
+
+    /// Classify one sampling window.
+    pub fn classify(&self, window: &FeatureVector) -> Verdict {
+        let row: Vec<f64> = self
+            .feature_indices
+            .iter()
+            .map(|&i| window.as_slice()[i])
+            .collect();
+        let label = self.model.predict(&row);
+        match self.mode {
+            DetectorMode::Binary => {
+                if label == 0 {
+                    Verdict::Benign
+                } else {
+                    // Binary detectors cannot name the family.
+                    Verdict::Malware(AppClass::Trojan)
+                }
+            }
+            DetectorMode::Multiclass => match AppClass::from_index(label) {
+                Some(AppClass::Benign) | None => Verdict::Benign,
+                Some(family) => Verdict::Malware(family),
+            },
+        }
+    }
+
+    /// Synthesise the detector to hardware.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Synthesis`] for models without a
+    /// datapath.
+    pub fn synthesize(&self, config: &SynthConfig) -> Result<HwReport, CoreError> {
+        Ok(synthesize(&self.model.datapath()?, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbmd_malware::SampleCatalog;
+    use hbmd_perf::{Collector, CollectorConfig};
+
+    fn dataset() -> HpcDataset {
+        let catalog = SampleCatalog::scaled(0.03, 9);
+        Collector::new(CollectorConfig::fast()).collect(&catalog)
+    }
+
+    #[test]
+    fn binary_detector_beats_chance() {
+        let detector = DetectorBuilder::new()
+            .classifier(ClassifierKind::J48)
+            .train_binary(&dataset())
+            .expect("train");
+        let accuracy = detector.evaluation().accuracy();
+        assert!(accuracy > 0.7, "accuracy {accuracy}");
+        assert_eq!(detector.mode(), DetectorMode::Binary);
+    }
+
+    #[test]
+    fn multiclass_detector_identifies_families() {
+        let detector = DetectorBuilder::new()
+            .classifier(ClassifierKind::Logistic)
+            .train_multiclass(&dataset())
+            .expect("train");
+        assert_eq!(detector.mode(), DetectorMode::Multiclass);
+        assert!(detector.evaluation().accuracy() > 0.4);
+    }
+
+    #[test]
+    fn feature_policy_shrinks_the_input() {
+        let detector = DetectorBuilder::new()
+            .classifier(ClassifierKind::OneR)
+            .feature_set(FeatureSet::Top(4))
+            .train_binary(&dataset())
+            .expect("train");
+        assert_eq!(detector.feature_indices().len(), 4);
+    }
+
+    #[test]
+    fn classify_consumes_full_windows() {
+        let data = dataset();
+        let detector = DetectorBuilder::new()
+            .classifier(ClassifierKind::J48)
+            .feature_set(FeatureSet::Top(8))
+            .train_binary(&data)
+            .expect("train");
+        let verdicts: Vec<Verdict> = data
+            .rows()
+            .iter()
+            .take(20)
+            .map(|r| detector.classify(&r.features))
+            .collect();
+        assert!(verdicts.iter().any(|v| v.is_malware()));
+    }
+
+    #[test]
+    fn detectors_synthesise() {
+        let detector = DetectorBuilder::new()
+            .classifier(ClassifierKind::JRip)
+            .feature_set(FeatureSet::Top(8))
+            .train_binary(&dataset())
+            .expect("train");
+        let report = detector.synthesize(&SynthConfig::default()).expect("synth");
+        assert!(report.area_units() > 0.0);
+        assert_eq!(report.scheme, "JRip");
+    }
+
+    #[test]
+    fn bad_fraction_is_rejected() {
+        let result = DetectorBuilder::new()
+            .train_fraction(1.0)
+            .train_binary(&dataset());
+        assert!(matches!(result, Err(CoreError::Config(_))));
+    }
+}

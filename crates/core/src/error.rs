@@ -1,0 +1,77 @@
+use std::fmt;
+
+use hbmd_fpga::DatapathError;
+use hbmd_ml::MlError;
+use hbmd_perf::PerfError;
+
+/// Errors produced by the detection pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The machine-learning layer failed (training, schema, PCA).
+    Ml(MlError),
+    /// The collection layer failed (configuration, parsing, I/O).
+    Perf(PerfError),
+    /// Hardware synthesis failed (untrained model).
+    Synthesis(DatapathError),
+    /// A pipeline configuration value is unusable.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Perf(e) => write!(f, "collection error: {e}"),
+            CoreError::Synthesis(e) => write!(f, "synthesis error: {e}"),
+            CoreError::Config(message) => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            CoreError::Perf(e) => Some(e),
+            CoreError::Synthesis(e) => Some(e),
+            CoreError::Config(_) => None,
+        }
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> CoreError {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<PerfError> for CoreError {
+    fn from(e: PerfError) -> CoreError {
+        CoreError::Perf(e)
+    }
+}
+
+impl From<DatapathError> for CoreError {
+    fn from(e: DatapathError) -> CoreError {
+        CoreError::Synthesis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_chaining() {
+        let e: CoreError = MlError::EmptyDataset.into();
+        assert!(e.to_string().contains("ml error"));
+        assert!(e.source().is_some());
+
+        let e: CoreError = PerfError::Config("x".to_owned()).into();
+        assert!(e.to_string().contains("collection"));
+
+        let e = CoreError::Config("bad".to_owned());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! The hardware-based malware detection pipeline — the paper's primary
+//! contribution, assembled from the suite's substrates.
+//!
+//! `hbmd-core` connects the synthetic platform (`hbmd-uarch` +
+//! `hbmd-malware`), the collection pipeline (`hbmd-perf`), the
+//! machine-learning toolbox (`hbmd-ml`) and the hardware cost model
+//! (`hbmd-fpga`) into the workflows the reference evaluation reports:
+//!
+//! * [`ClassifierKind`] / [`TrainedModel`] — the WEKA classifier suite
+//!   as a closed enum, trainable and synthesisable,
+//! * [`FeatureSet`] / [`FeaturePlan`] — the paper's feature policies:
+//!   all 16 counters, PCA top-8 / top-4, the 4 common features, and the
+//!   per-malware-class custom 8 of Table 2,
+//! * [`Detector`] / [`DetectorBuilder`] — end-to-end training of a
+//!   binary (benign/malware) or multiclass (family) detector,
+//! * [`OnlineDetector`] — sliding-window majority voting over per-10ms
+//!   verdicts for run-time monitoring,
+//! * [`experiments`] — one preset per table/figure of the evaluation
+//!   (accuracy sweeps, hardware cost comparisons, PCA-assisted
+//!   multiclass), shared by the `repro` binary and the benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbmd_core::{ClassifierKind, DetectorBuilder, FeatureSet};
+//! use hbmd_malware::SampleCatalog;
+//! use hbmd_perf::{Collector, CollectorConfig};
+//!
+//! let catalog = SampleCatalog::scaled(0.02, 7);
+//! let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+//!
+//! let detector = DetectorBuilder::new()
+//!     .classifier(ClassifierKind::J48)
+//!     .feature_set(FeatureSet::Top(8))
+//!     .train_binary(&dataset)?;
+//! assert!(detector.evaluation().accuracy() > 0.7);
+//! # Ok::<(), hbmd_core::CoreError>(())
+//! ```
+
+pub mod experiments;
+
+mod convert;
+mod detector;
+mod error;
+mod features;
+mod online;
+mod suite;
+mod voting;
+
+pub use convert::{to_binary_dataset, to_multiclass_dataset, BINARY_CLASS_NAMES};
+pub use detector::{Detector, DetectorBuilder, DetectorMode, Verdict};
+pub use error::CoreError;
+pub use features::{FeaturePlan, FeatureSet};
+pub use online::{OnlineDetector, OnlineVerdict};
+pub use suite::{ClassifierKind, TrainedModel};
+pub use voting::VotingDetector;

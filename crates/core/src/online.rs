@@ -1,0 +1,211 @@
+use std::collections::VecDeque;
+
+use hbmd_events::FeatureVector;
+use hbmd_malware::AppClass;
+use serde::{Deserialize, Serialize};
+
+use crate::detector::{Detector, Verdict};
+
+/// Aggregated run-time decision after one more sampling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnlineVerdict {
+    /// Not enough windows observed yet.
+    Warmup,
+    /// The window majority looks benign.
+    Clean,
+    /// The window majority flags malware (most-voted family in
+    /// multiclass mode).
+    Alarm {
+        /// Most-voted family among the malicious windows.
+        family: AppClass,
+        /// Malicious windows in the current window.
+        votes: usize,
+        /// Window size.
+        of: usize,
+    },
+}
+
+/// Sliding-window majority voting over per-window verdicts — the
+/// run-time decision layer the related work (Demme et al., Ozsoy et
+/// al.) puts on top of per-sample classification, smoothing the noisy
+/// 10 ms verdict stream into a stable alarm signal.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_core::{ClassifierKind, DetectorBuilder, OnlineDetector, OnlineVerdict};
+/// use hbmd_malware::SampleCatalog;
+/// use hbmd_perf::{Collector, CollectorConfig};
+///
+/// let catalog = SampleCatalog::scaled(0.02, 3);
+/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let detector = DetectorBuilder::new()
+///     .classifier(ClassifierKind::J48)
+///     .train_binary(&dataset)?;
+///
+/// let mut online = OnlineDetector::new(detector, 4, 3);
+/// for row in dataset.rows().iter().take(3) {
+///     assert_eq!(online.observe(&row.features), OnlineVerdict::Warmup);
+/// }
+/// # Ok::<(), hbmd_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineDetector {
+    detector: Detector,
+    window: usize,
+    threshold: usize,
+    history: VecDeque<Verdict>,
+}
+
+impl OnlineDetector {
+    /// Wrap a trained detector with a voting window of `window` recent
+    /// verdicts; `threshold` malicious votes raise the alarm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero or `threshold` exceeds `window`.
+    pub fn new(detector: Detector, window: usize, threshold: usize) -> OnlineDetector {
+        assert!(window > 0, "window must be non-zero");
+        assert!(threshold <= window, "threshold cannot exceed the window");
+        OnlineDetector {
+            detector,
+            window,
+            threshold,
+            history: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Feed one sampling window; returns the aggregated decision.
+    pub fn observe(&mut self, window: &FeatureVector) -> OnlineVerdict {
+        let verdict = self.detector.classify(window);
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(verdict);
+        self.decision()
+    }
+
+    /// The current aggregated decision without feeding a new window.
+    pub fn decision(&self) -> OnlineVerdict {
+        if self.history.len() < self.window {
+            return OnlineVerdict::Warmup;
+        }
+        let mut family_votes = [0usize; AppClass::COUNT];
+        let mut malicious = 0usize;
+        for verdict in &self.history {
+            if let Verdict::Malware(family) = verdict {
+                malicious += 1;
+                family_votes[family.index()] += 1;
+            }
+        }
+        if malicious >= self.threshold {
+            let family = family_votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &v)| v)
+                .and_then(|(i, _)| AppClass::from_index(i))
+                .unwrap_or(AppClass::Trojan);
+            OnlineVerdict::Alarm {
+                family,
+                votes: malicious,
+                of: self.window,
+            }
+        } else {
+            OnlineVerdict::Clean
+        }
+    }
+
+    /// Drop all observed history (e.g. on a process switch).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorBuilder;
+    use crate::suite::ClassifierKind;
+    use hbmd_malware::{Sample, SampleCatalog, SampleId};
+    use hbmd_perf::{Collector, CollectorConfig, Sampler, SamplerConfig};
+
+    fn trained() -> Detector {
+        let catalog = SampleCatalog::scaled(0.03, 17);
+        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        DetectorBuilder::new()
+            .classifier(ClassifierKind::J48)
+            .train_binary(&dataset)
+            .expect("train")
+    }
+
+    #[test]
+    fn warmup_then_decision() {
+        let mut online = OnlineDetector::new(trained(), 3, 2);
+        let sampler = Sampler::new(SamplerConfig::fast()).expect("sampler");
+        let worm = Sample::generate(SampleId(900), hbmd_malware::AppClass::Worm, 23);
+        let windows = sampler.collect_sample(&worm);
+        assert_eq!(online.observe(&windows[0]), OnlineVerdict::Warmup);
+        assert_eq!(online.observe(&windows[1]), OnlineVerdict::Warmup);
+        let decided = online.observe(&windows[2]);
+        assert_ne!(decided, OnlineVerdict::Warmup);
+    }
+
+    #[test]
+    fn sustained_malware_raises_an_alarm() {
+        let mut online = OnlineDetector::new(trained(), 4, 3);
+        let sampler = Sampler::new(SamplerConfig {
+            windows_per_sample: 12,
+            ..SamplerConfig::fast()
+        })
+        .expect("sampler");
+        let worm = Sample::generate(SampleId(901), hbmd_malware::AppClass::Worm, 29);
+        let mut alarms = 0;
+        for window in sampler.collect_sample(&worm) {
+            if matches!(online.observe(&window), OnlineVerdict::Alarm { .. }) {
+                alarms += 1;
+            }
+        }
+        assert!(alarms > 0, "a worm under sustained observation must trip");
+    }
+
+    #[test]
+    fn benign_stream_stays_clean_mostly() {
+        let mut online = OnlineDetector::new(trained(), 4, 4);
+        let sampler = Sampler::new(SamplerConfig {
+            windows_per_sample: 12,
+            ..SamplerConfig::fast()
+        })
+        .expect("sampler");
+        let benign = Sample::generate(SampleId(902), hbmd_malware::AppClass::Benign, 31);
+        let alarms = sampler
+            .collect_sample(&benign)
+            .iter()
+            .filter(|w| matches!(online.observe(w), OnlineVerdict::Alarm { .. }))
+            .count();
+        assert!(alarms <= 2, "benign stream raised {alarms} alarms");
+    }
+
+    #[test]
+    fn reset_returns_to_warmup() {
+        let mut online = OnlineDetector::new(trained(), 2, 1);
+        let sampler = Sampler::new(SamplerConfig::fast()).expect("sampler");
+        let sample = Sample::generate(SampleId(903), hbmd_malware::AppClass::Virus, 37);
+        let windows = sampler.collect_sample(&sample);
+        online.observe(&windows[0]);
+        online.observe(&windows[1]);
+        assert_ne!(online.decision(), OnlineVerdict::Warmup);
+        online.reset();
+        assert_eq!(online.decision(), OnlineVerdict::Warmup);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_above_window_panics() {
+        let _ = OnlineDetector::new(trained(), 2, 3);
+    }
+}

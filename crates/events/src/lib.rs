@@ -1,0 +1,42 @@
+//! Hardware performance counter (HPC) event taxonomy for the `hbmd` suite.
+//!
+//! Hardware-based malware detection consumes *microarchitectural event
+//! counts* — cache references, branch mispredictions, TLB misses — read
+//! from the CPU's performance monitoring unit (PMU). This crate defines:
+//!
+//! * [`HpcEvent`] — the 16 events the reference evaluation collects with
+//!   the Linux `perf` tool on an Intel Haswell i5-4590,
+//! * [`CounterSet`] — a fixed-size array of raw 64-bit counts indexed by
+//!   event, with snapshot/delta arithmetic,
+//! * [`catalog`] — the full 52-entry Haswell *hardware* event catalog used
+//!   to model PMU multiplexing (52 events share 8 programmable counters),
+//! * [`FeatureVector`] — scaled per-sample feature values handed to the
+//!   machine-learning layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbmd_events::{CounterSet, HpcEvent};
+//!
+//! let mut counters = CounterSet::new();
+//! counters[HpcEvent::BranchInstructions] = 1_000;
+//! counters[HpcEvent::BranchMisses] = 37;
+//!
+//! let later = {
+//!     let mut c = counters;
+//!     c[HpcEvent::BranchMisses] += 5;
+//!     c
+//! };
+//! let delta = later.delta(&counters);
+//! assert_eq!(delta[HpcEvent::BranchMisses], 5);
+//! ```
+
+pub mod catalog;
+mod counters;
+mod event;
+mod feature;
+
+pub use catalog::{EventDescriptor, HaswellCatalog};
+pub use counters::CounterSet;
+pub use event::{EventKind, HpcEvent, ParseEventError};
+pub use feature::FeatureVector;

@@ -1,0 +1,55 @@
+//! An HLS-like FPGA cost model for trained classifiers.
+//!
+//! The reference evaluation pushed each WEKA model through Xilinx
+//! Vivado High-Level Synthesis and compared the resulting **area**
+//! (Figure 14), **latency** (Figure 15) and **accuracy/area ratio**
+//! (Figure 16) — concluding that simple rule learners (OneR, JRip) beat
+//! neural networks once silicon cost matters. This crate reproduces
+//! that analysis structurally:
+//!
+//! * [`DatapathSpec`] — an abstract netlist summary (multipliers,
+//!   adders, comparators, activation ROMs per pipeline stage) derived
+//!   from a *trained* model via [`ToDatapath`],
+//! * [`synthesize`] — maps a datapath onto a resource library
+//!   (DSP48-style multipliers, LUT adders/comparators, BRAM activation
+//!   tables) under a [`SynthConfig`] clock target,
+//! * [`HwReport`] — LUT/FF/DSP/BRAM counts, latency cycles and
+//!   nanoseconds, dynamic + static power, and the derived
+//!   accuracy-per-area figure of merit.
+//!
+//! Absolute numbers are a model, not silicon; what the suite relies on
+//! (and tests) is the *ordering* the paper reports: stump < OneR <
+//! JRip < trees < linear models < naive Bayes < MLP, with kNN latency
+//! off the charts.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbmd_fpga::{synthesize, SynthConfig, ToDatapath};
+//! use hbmd_ml::{Classifier, Dataset, JRip, Mlp};
+//!
+//! let mut data = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])?;
+//! for i in 0..60 {
+//!     data.push(vec![i as f64], usize::from(i >= 30))?;
+//! }
+//! let mut jrip = JRip::new();
+//! jrip.fit(&data)?;
+//! let mut mlp = Mlp::new();
+//! mlp.fit(&data)?;
+//!
+//! let config = SynthConfig::default();
+//! let small = synthesize(&jrip.datapath()?, &config);
+//! let large = synthesize(&mlp.datapath()?, &config);
+//! assert!(small.area_units() < large.area_units());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod datapath;
+mod hdl;
+mod report;
+mod synth;
+
+pub use datapath::{DatapathError, DatapathSpec, Stage, ToDatapath};
+pub use hdl::emit_system_verilog;
+pub use report::{HwReport, ResourceEstimate};
+pub use synth::{synthesize, SynthConfig};

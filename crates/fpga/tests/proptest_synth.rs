@@ -1,0 +1,91 @@
+//! Property tests on the synthesis model: monotonicity and scaling
+//! laws that must hold for any datapath.
+
+use hbmd_fpga::{synthesize, DatapathSpec, Stage, SynthConfig};
+use proptest::prelude::*;
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    (
+        0u64..200,
+        0u64..200,
+        0u64..200,
+        0u64..200,
+        0u64..200_000,
+        1u64..10,
+        1u64..4,
+    )
+        .prop_map(
+            |(multipliers, adders, comparators, lut_ops, rom_bits, latency, iterations)| Stage {
+                name: "stage".to_owned(),
+                multipliers,
+                adders,
+                comparators,
+                lut_ops,
+                rom_bits,
+                latency_cycles: latency,
+                iterations,
+            },
+        )
+}
+
+fn arb_spec() -> impl Strategy<Value = DatapathSpec> {
+    (prop::collection::vec(arb_stage(), 1..6), 0usize..32).prop_map(|(stages, inputs)| {
+        DatapathSpec {
+            scheme: "prop".to_owned(),
+            inputs,
+            stages,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adding_a_stage_never_shrinks_the_design(spec in arb_spec(), extra in arb_stage()) {
+        let config = SynthConfig::default();
+        let base = synthesize(&spec, &config);
+        let mut bigger = spec.clone();
+        bigger.stages.push(extra);
+        let grown = synthesize(&bigger, &config);
+        prop_assert!(grown.area_units() >= base.area_units());
+        prop_assert!(grown.latency_cycles >= base.latency_cycles);
+        prop_assert!(grown.power_mw >= base.power_mw);
+    }
+
+    #[test]
+    fn folding_never_grows_area_or_shrinks_latency(spec in arb_spec(), fold in 2u64..16) {
+        let parallel = synthesize(&spec, &SynthConfig::default());
+        let folded = synthesize(&spec, &SynthConfig::folded(fold));
+        prop_assert!(folded.resources.dsps <= parallel.resources.dsps);
+        prop_assert!(folded.latency_cycles >= parallel.latency_cycles);
+    }
+
+    #[test]
+    fn clock_scaling_is_linear_in_time_not_cycles(spec in arb_spec()) {
+        let slow = synthesize(&spec, &SynthConfig { clock_mhz: 50.0, ..SynthConfig::default() });
+        let fast = synthesize(&spec, &SynthConfig { clock_mhz: 200.0, ..SynthConfig::default() });
+        prop_assert_eq!(slow.latency_cycles, fast.latency_cycles);
+        prop_assert!((slow.latency_ns() / fast.latency_ns() - 4.0).abs() < 1e-9);
+        prop_assert_eq!(slow.resources, fast.resources);
+    }
+
+    #[test]
+    fn wider_words_never_shrink_lut_fabric(spec in arb_spec()) {
+        let narrow = synthesize(&spec, &SynthConfig { word_bits: 8, ..SynthConfig::default() });
+        let wide = synthesize(&spec, &SynthConfig { word_bits: 32, ..SynthConfig::default() });
+        prop_assert!(wide.resources.luts >= narrow.resources.luts);
+        prop_assert!(wide.resources.ffs >= narrow.resources.ffs);
+    }
+
+    #[test]
+    fn reports_are_internally_consistent(spec in arb_spec()) {
+        let report = synthesize(&spec, &SynthConfig::default());
+        prop_assert!(report.latency_cycles >= spec.stages.len() as u64);
+        prop_assert!(report.power_mw >= 20.0, "static floor");
+        prop_assert!(report.area_units() >= 0.0);
+        prop_assert!(report.energy_per_inference_nj() >= 0.0);
+        let throughput = report.throughput_per_s();
+        prop_assert!((throughput * report.latency_ns() - 1e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+use crate::data::{Dataset, MlError};
+
+/// A trainable classifier over numeric features and a nominal class —
+/// the WEKA `Classifier` contract.
+///
+/// Implementations are object-safe so heterogeneous classifier suites
+/// (the paper compares a dozen at once) can be boxed:
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, OneR, ZeroR};
+///
+/// let mut data = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()])?;
+/// for i in 0..10 {
+///     data.push(vec![i as f64], usize::from(i >= 5))?;
+/// }
+/// let mut suite: Vec<Box<dyn Classifier>> =
+///     vec![Box::new(ZeroR::new()), Box::new(OneR::new())];
+/// for classifier in &mut suite {
+///     classifier.fit(&data)?;
+///     assert!(classifier.predict(&[9.0]) < 2);
+/// }
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+pub trait Classifier {
+    /// Train on `data`, replacing any previous model.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`MlError::EmptyDataset`] /
+    /// [`MlError::SingleClass`] for untrainable data and
+    /// [`MlError::Config`] for unusable hyper-parameters.
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError>;
+
+    /// Predict the label of one instance.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called before a successful
+    /// [`fit`](Classifier::fit) or with a row of the wrong width.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Human-readable classifier name (WEKA scheme style, e.g. `"J48"`).
+    fn name(&self) -> &str;
+
+    /// Predict a batch of instances.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::zero_r::ZeroR;
+
+    #[test]
+    fn default_batch_prediction_delegates() {
+        let mut data = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
+        data.push(vec![0.0], 1).expect("row");
+        data.push(vec![1.0], 1).expect("row");
+        data.push(vec![2.0], 0).expect("row");
+        let mut zr = ZeroR::new();
+        zr.fit(&data).expect("fit");
+        let out = zr.predict_batch(&[vec![0.0], vec![5.0]]);
+        assert_eq!(out, vec![1, 1]);
+    }
+}

@@ -1,0 +1,180 @@
+use crate::classifier::Classifier;
+use crate::data::{Dataset, MlError};
+use crate::filter::Standardize;
+
+/// WEKA `IBk`: k-nearest-neighbour classification with Euclidean
+/// distance over standardised features.
+///
+/// Lazy — training just stores the (standardised) instances, prediction
+/// is a linear scan. Accurate but with per-query cost proportional to
+/// the training-set size, which is exactly why the paper's hardware
+/// analysis disfavours instance-based schemes.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, Ibk};
+///
+/// let mut data = Dataset::new(vec!["x".into()], vec!["lo".into(), "hi".into()])?;
+/// for i in 0..20 {
+///     data.push(vec![i as f64], usize::from(i >= 10))?;
+/// }
+/// let mut knn = Ibk::new(3);
+/// knn.fit(&data)?;
+/// assert_eq!(knn.predict(&[1.0]), 0);
+/// assert_eq!(knn.predict(&[18.5]), 1);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ibk {
+    k: usize,
+    model: Option<IbkModel>,
+}
+
+#[derive(Debug, Clone)]
+struct IbkModel {
+    standardize: Standardize,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Ibk {
+    /// kNN with the given neighbour count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn new(k: usize) -> Ibk {
+        assert!(k > 0, "k must be non-zero");
+        Ibk { k, model: None }
+    }
+
+    /// Stored training instances (0 before fit).
+    pub fn num_train_instances(&self) -> usize {
+        self.model.as_ref().map(|m| m.rows.len()).unwrap_or(0)
+    }
+
+    /// The neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Classifier for Ibk {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        data.check_trainable()?;
+        let standardize = Standardize::fit(data);
+        let rows = data
+            .rows()
+            .iter()
+            .map(|r| standardize.transform_row(r))
+            .collect();
+        self.model = Some(IbkModel {
+            standardize,
+            rows,
+            labels: data.labels().to_vec(),
+            num_classes: data.num_classes(),
+        });
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let m = self.model.as_ref().expect("Ibk::predict called before fit");
+        let x = m.standardize.transform_row(features);
+        // Partial selection of the k smallest distances.
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(self.k + 1);
+        for (row, &label) in m.rows.iter().zip(&m.labels) {
+            let d2: f64 = row.iter().zip(&x).map(|(a, b)| (a - b).powi(2)).sum();
+            if best.len() < self.k || d2 < best.last().expect("non-empty").0 {
+                let pos = best
+                    .iter()
+                    .position(|&(bd, _)| d2 < bd)
+                    .unwrap_or(best.len());
+                best.insert(pos, (d2, label));
+                if best.len() > self.k {
+                    best.pop();
+                }
+            }
+        }
+        let mut votes = vec![0usize; m.num_classes];
+        for &(_, label) in &best {
+            votes[label] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &str {
+        "IBk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> Dataset {
+        let mut d = Dataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+        .expect("schema");
+        for i in 0..20 {
+            let wiggle = (i % 5) as f64 * 0.1;
+            d.push(vec![wiggle, wiggle], 0).expect("row");
+            d.push(vec![10.0 + wiggle, 10.0 + wiggle], 1).expect("row");
+        }
+        d
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let mut knn = Ibk::new(5);
+        knn.fit(&clusters()).expect("fit");
+        assert_eq!(knn.predict(&[0.5, 0.5]), 0);
+        assert_eq!(knn.predict(&[9.5, 9.5]), 1);
+        assert_eq!(knn.num_train_instances(), 40);
+    }
+
+    #[test]
+    fn k_one_memorises_training_points() {
+        let data = clusters();
+        let mut knn = Ibk::new(1);
+        knn.fit(&data).expect("fit");
+        for (row, label) in data.iter() {
+            assert_eq!(knn.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn larger_k_smooths_an_outlier() {
+        // One mislabelled point inside cluster A: k=1 trips over it,
+        // k=7 does not.
+        let mut d = clusters();
+        d.push(vec![0.05, 0.05], 1).expect("outlier");
+        let probe = [0.06, 0.06];
+        let mut k1 = Ibk::new(1);
+        k1.fit(&d).expect("fit");
+        assert_eq!(k1.predict(&probe), 1, "k=1 memorises the outlier");
+        let mut k7 = Ibk::new(7);
+        k7.fit(&d).expect("fit");
+        assert_eq!(k7.predict(&probe), 0, "k=7 votes it down");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be non-zero")]
+    fn zero_k_panics() {
+        let _ = Ibk::new(0);
+    }
+
+    #[test]
+    fn rejects_untrainable() {
+        let d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
+        assert!(Ibk::new(3).fit(&d).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+use crate::classifier::Classifier;
+use crate::data::{Dataset, MlError};
+use crate::filter::Standardize;
+
+/// Multinomial logistic regression (softmax regression) — WEKA's
+/// `Logistic` scheme, and the paper's "MLR" multiclass classifier.
+///
+/// Features are standardised internally; weights are trained by
+/// full-batch gradient descent on the L2-regularised cross-entropy.
+/// On a two-class problem this reduces to ordinary logistic regression.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, Mlr};
+///
+/// let mut data = Dataset::new(vec!["x".into()], vec!["lo".into(), "hi".into()])?;
+/// for i in 0..40 {
+///     data.push(vec![i as f64], usize::from(i >= 20))?;
+/// }
+/// let mut mlr = Mlr::new();
+/// mlr.fit(&data)?;
+/// assert_eq!(mlr.predict(&[35.0]), 1);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlr {
+    epochs: usize,
+    learning_rate: f64,
+    ridge: f64,
+    model: Option<MlrModel>,
+}
+
+/// WEKA-style alias: [`Mlr`] is registered as `Logistic` in classifier
+/// suites.
+pub type Logistic = Mlr;
+
+#[derive(Debug, Clone)]
+struct MlrModel {
+    standardize: Standardize,
+    /// `[class][feature]` weights plus a trailing bias per class.
+    weights: Vec<Vec<f64>>,
+}
+
+impl Mlr {
+    /// Defaults: 300 epochs, learning rate 0.5, ridge 1e-4 (WEKA's
+    /// Logistic default ridge is 1e-8; a slightly stronger one
+    /// stabilises the noisy HPC features).
+    pub fn new() -> Mlr {
+        Mlr {
+            epochs: 300,
+            learning_rate: 0.5,
+            ridge: 1e-4,
+            model: None,
+        }
+    }
+
+    /// Custom training schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epochs` is zero or `learning_rate` is not positive.
+    pub fn with_schedule(epochs: usize, learning_rate: f64) -> Mlr {
+        assert!(epochs > 0, "epochs must be non-zero");
+        assert!(learning_rate > 0.0, "learning_rate must be positive");
+        Mlr {
+            epochs,
+            learning_rate,
+            ridge: 1e-4,
+            model: None,
+        }
+    }
+
+    /// `(num_features, num_classes)` of the fitted model.
+    pub fn dims(&self) -> Option<(usize, usize)> {
+        self.model
+            .as_ref()
+            .map(|m| (m.weights[0].len() - 1, m.weights.len()))
+    }
+
+    /// Class probabilities for one standardised-on-the-fly instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before a successful fit.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let m = self.model.as_ref().expect("Mlr::predict called before fit");
+        let x = m.standardize.transform_row(features);
+        softmax(&logits(&m.weights, &x))
+    }
+}
+
+fn logits(weights: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    weights
+        .iter()
+        .map(|w| {
+            let bias = w[w.len() - 1];
+            w[..w.len() - 1]
+                .iter()
+                .zip(x)
+                .map(|(wi, xi)| wi * xi)
+                .sum::<f64>()
+                + bias
+        })
+        .collect()
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+impl Default for Mlr {
+    fn default() -> Mlr {
+        Mlr::new()
+    }
+}
+
+impl Classifier for Mlr {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        data.check_trainable()?;
+        let classes = data.num_classes();
+        let features = data.num_features();
+        let n = data.len() as f64;
+
+        let standardize = Standardize::fit(data);
+        let rows: Vec<Vec<f64>> = data
+            .rows()
+            .iter()
+            .map(|r| standardize.transform_row(r))
+            .collect();
+
+        let mut weights = vec![vec![0.0f64; features + 1]; classes];
+        for epoch in 0..self.epochs {
+            // Simple 1/t learning-rate decay.
+            let lr = self.learning_rate / (1.0 + epoch as f64 * 0.01);
+            let mut grad = vec![vec![0.0f64; features + 1]; classes];
+            for (x, label) in rows.iter().zip(data.labels()) {
+                let p = softmax(&logits(&weights, x));
+                for class in 0..classes {
+                    let err = p[class] - f64::from(class == *label);
+                    let g = &mut grad[class];
+                    for (j, &xj) in x.iter().enumerate() {
+                        g[j] += err * xj;
+                    }
+                    g[features] += err;
+                }
+            }
+            for class in 0..classes {
+                for j in 0..=features {
+                    let reg = if j < features {
+                        self.ridge * weights[class][j]
+                    } else {
+                        0.0
+                    };
+                    weights[class][j] -= lr * (grad[class][j] / n + reg);
+                }
+            }
+        }
+
+        self.model = Some(MlrModel {
+            standardize,
+            weights,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let p = self.predict_proba(features);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &str {
+        "Logistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_boundary_is_learned() {
+        let mut d = Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()])
+            .expect("schema");
+        for i in 0..60 {
+            d.push(vec![i as f64], usize::from(i >= 30)).expect("row");
+        }
+        let mut mlr = Mlr::new();
+        mlr.fit(&d).expect("fit");
+        assert_eq!(mlr.predict(&[5.0]), 0);
+        assert_eq!(mlr.predict(&[55.0]), 1);
+        let proba = mlr.predict_proba(&[55.0]);
+        assert!(proba[1] > 0.9, "confident far from the boundary: {proba:?}");
+        assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_class_bands_are_learned() {
+        let mut d = Dataset::new(
+            vec!["x".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+        )
+        .expect("schema");
+        for i in 0..90 {
+            d.push(vec![i as f64], i / 30).expect("row");
+        }
+        let mut mlr = Mlr::new();
+        mlr.fit(&d).expect("fit");
+        assert_eq!(mlr.predict(&[5.0]), 0);
+        assert_eq!(mlr.predict(&[45.0]), 1);
+        assert_eq!(mlr.predict(&[85.0]), 2);
+        assert_eq!(mlr.dims(), Some((1, 3)));
+    }
+
+    #[test]
+    fn two_features_weight_the_informative_one() {
+        let mut d = Dataset::new(
+            vec!["noise".into(), "signal".into()],
+            vec!["a".into(), "b".into()],
+        )
+        .expect("schema");
+        for i in 0..80 {
+            d.push(
+                vec![(i % 4) as f64, i as f64],
+                usize::from(i >= 40),
+            )
+            .expect("row");
+        }
+        let mut mlr = Mlr::new();
+        mlr.fit(&d).expect("fit");
+        let correct = d
+            .iter()
+            .filter(|(row, label)| mlr.predict(row) == *label)
+            .count();
+        assert!(correct >= 76, "correct {correct}");
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!(p[1] >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs")]
+    fn zero_epochs_panics() {
+        let _ = Mlr::with_schedule(0, 0.1);
+    }
+
+    #[test]
+    fn rejects_untrainable() {
+        let d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
+        assert!(Mlr::new().fit(&d).is_err());
+    }
+}

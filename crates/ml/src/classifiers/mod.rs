@@ -1,0 +1,15 @@
+//! The classifier implementations.
+
+pub mod ibk;
+pub mod j48;
+pub mod jrip;
+pub mod logistic;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod one_r;
+pub mod rep_tree;
+pub mod stump;
+pub mod svm;
+pub mod zero_r;
+
+pub(crate) mod split;

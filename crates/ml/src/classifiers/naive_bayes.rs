@@ -1,0 +1,209 @@
+use crate::classifier::Classifier;
+use crate::data::{Dataset, MlError};
+
+/// WEKA `NaiveBayes` with Gaussian likelihoods on numeric attributes.
+///
+/// Per class, each feature gets an independent normal model; prediction
+/// maximises `log P(class) + Σ log N(x_j; μ_cj, σ_cj)`. Variances are
+/// floored to keep degenerate (constant) features finite.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, NaiveBayes};
+///
+/// let mut data = Dataset::new(vec!["x".into()], vec!["lo".into(), "hi".into()])?;
+/// for i in 0..20 {
+///     let x = if i < 10 { i as f64 } else { 100.0 + i as f64 };
+///     data.push(vec![x], usize::from(i >= 10))?;
+/// }
+/// let mut nb = NaiveBayes::new();
+/// nb.fit(&data)?;
+/// assert_eq!(nb.predict(&[3.0]), 0);
+/// assert_eq!(nb.predict(&[110.0]), 1);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    model: Option<NbModel>,
+}
+
+#[derive(Debug, Clone)]
+struct NbModel {
+    /// `log P(class)`, `-inf` for absent classes.
+    log_priors: Vec<f64>,
+    /// `[class][feature] -> (mean, variance)`.
+    gaussians: Vec<Vec<(f64, f64)>>,
+}
+
+/// Variance floor preventing zero-width Gaussians.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl NaiveBayes {
+    /// A new, untrained model.
+    pub fn new() -> NaiveBayes {
+        NaiveBayes::default()
+    }
+
+    /// `(num_features, num_classes)` of the fitted model.
+    pub fn dims(&self) -> Option<(usize, usize)> {
+        self.model
+            .as_ref()
+            .map(|m| (m.gaussians[0].len(), m.log_priors.len()))
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        data.check_trainable()?;
+        let classes = data.num_classes();
+        let features = data.num_features();
+        let counts = data.class_counts();
+        let n = data.len() as f64;
+
+        let log_priors: Vec<f64> = counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (c as f64 / n).ln()
+                }
+            })
+            .collect();
+
+        let mut gaussians = vec![vec![(0.0, VAR_FLOOR); features]; classes];
+        for class in 0..classes {
+            if counts[class] == 0 {
+                continue;
+            }
+            let nc = counts[class] as f64;
+            for j in 0..features {
+                let mean: f64 = data
+                    .iter()
+                    .filter(|&(_, l)| l == class)
+                    .map(|(r, _)| r[j])
+                    .sum::<f64>()
+                    / nc;
+                let var: f64 = data
+                    .iter()
+                    .filter(|&(_, l)| l == class)
+                    .map(|(r, _)| (r[j] - mean).powi(2))
+                    .sum::<f64>()
+                    / nc;
+                gaussians[class][j] = (mean, var.max(VAR_FLOOR));
+            }
+        }
+        self.model = Some(NbModel {
+            log_priors,
+            gaussians,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let m = self
+            .model
+            .as_ref()
+            .expect("NaiveBayes::predict called before fit");
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (class, &log_prior) in m.log_priors.iter().enumerate() {
+            if log_prior == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut score = log_prior;
+            for (j, &x) in features.iter().enumerate() {
+                let (mean, var) = m.gaussians[class][j];
+                score += -0.5 * ((x - mean).powi(2) / var + var.ln() + std::f64::consts::TAU.ln());
+            }
+            if score > best.1 {
+                best = (class, score);
+            }
+        }
+        best.0
+    }
+
+    fn name(&self) -> &str {
+        "NaiveBayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let mut d = Dataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+        .expect("schema");
+        for i in 0..50 {
+            let wiggle = (i % 5) as f64 * 0.3;
+            d.push(vec![wiggle, 1.0 + wiggle], 0).expect("row");
+            d.push(vec![10.0 + wiggle, 12.0 + wiggle], 1).expect("row");
+        }
+        let mut nb = NaiveBayes::new();
+        nb.fit(&d).expect("fit");
+        assert_eq!(nb.predict(&[0.5, 1.5]), 0);
+        assert_eq!(nb.predict(&[10.5, 12.5]), 1);
+        assert_eq!(nb.dims(), Some((2, 2)));
+    }
+
+    #[test]
+    fn priors_break_ties() {
+        // Identical feature distributions, skewed priors: predict the
+        // frequent class.
+        let mut d = Dataset::new(vec!["x".into()], vec!["rare".into(), "common".into()])
+            .expect("schema");
+        for i in 0..4 {
+            d.push(vec![(i % 3) as f64], 0).expect("row");
+        }
+        for i in 0..40 {
+            d.push(vec![(i % 3) as f64], 1).expect("row");
+        }
+        let mut nb = NaiveBayes::new();
+        nb.fit(&d).expect("fit");
+        assert_eq!(nb.predict(&[1.0]), 1);
+    }
+
+    #[test]
+    fn constant_features_do_not_blow_up() {
+        let mut d = Dataset::new(
+            vec!["flat".into(), "signal".into()],
+            vec!["a".into(), "b".into()],
+        )
+        .expect("schema");
+        for i in 0..20 {
+            d.push(vec![7.0, i as f64], usize::from(i >= 10)).expect("row");
+        }
+        let mut nb = NaiveBayes::new();
+        nb.fit(&d).expect("fit");
+        assert_eq!(nb.predict(&[7.0, 2.0]), 0);
+        assert_eq!(nb.predict(&[7.0, 18.0]), 1);
+    }
+
+    #[test]
+    fn absent_classes_are_never_predicted() {
+        let mut d = Dataset::new(
+            vec!["x".into()],
+            vec!["a".into(), "b".into(), "ghost".into()],
+        )
+        .expect("schema");
+        for i in 0..20 {
+            d.push(vec![i as f64], usize::from(i >= 10)).expect("row");
+        }
+        let mut nb = NaiveBayes::new();
+        nb.fit(&d).expect("fit");
+        for x in 0..20 {
+            assert_ne!(nb.predict(&[x as f64]), 2);
+        }
+    }
+
+    #[test]
+    fn rejects_untrainable() {
+        let d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
+        assert!(NaiveBayes::new().fit(&d).is_err());
+    }
+}

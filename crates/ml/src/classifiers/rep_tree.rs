@@ -1,0 +1,306 @@
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::classifier::Classifier;
+use crate::classifiers::split::{best_split, histogram, majority};
+use crate::data::{Dataset, MlError};
+
+/// WEKA `REPTree`: a fast information-gain tree with reduced-error
+/// pruning.
+///
+/// The tree is grown on two thirds of the training data (by raw
+/// information gain, not gain ratio) and pruned bottom-up against the
+/// held-out third: a subtree is replaced by a leaf whenever the leaf
+/// makes no more holdout errors than the subtree.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, RepTree};
+///
+/// let mut data = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])?;
+/// for i in 0..60 {
+///     data.push(vec![i as f64], usize::from(i >= 30))?;
+/// }
+/// let mut tree = RepTree::new();
+/// tree.fit(&data)?;
+/// assert_eq!(tree.predict(&[50.0]), 1);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepTree {
+    min_leaf: usize,
+    max_depth: usize,
+    seed: u64,
+    root: Option<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Inner {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl RepTree {
+    /// REPTree with WEKA defaults (minimum 2 instances per leaf).
+    pub fn new() -> RepTree {
+        RepTree {
+            min_leaf: 2,
+            max_depth: 40,
+            seed: 1,
+            root: None,
+        }
+    }
+
+    /// REPTree with a specific shuffle seed for the grow/prune split.
+    pub fn with_seed(seed: u64) -> RepTree {
+        RepTree {
+            seed,
+            ..RepTree::new()
+        }
+    }
+
+    /// Number of leaves (0 before fit).
+    pub fn num_leaves(&self) -> usize {
+        self.root.as_ref().map(count_leaves).unwrap_or(0)
+    }
+
+    /// Number of internal nodes (0 before fit).
+    pub fn num_internal_nodes(&self) -> usize {
+        self.root.as_ref().map(count_inner).unwrap_or(0)
+    }
+
+    /// Depth in test nodes (0 before fit).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map(node_depth).unwrap_or(0)
+    }
+
+    fn build(&self, data: &Dataset, indices: &[usize], depth: usize) -> Node {
+        let counts = histogram(data, indices);
+        let class = majority(data, indices);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= self.max_depth || indices.len() < 2 * self.min_leaf {
+            return Node::Leaf { class };
+        }
+        match best_split(data, indices, self.min_leaf, false) {
+            None => Node::Leaf { class },
+            Some(split) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.rows()[i][split.feature] <= split.threshold);
+                Node::Inner {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left: Box::new(self.build(data, &left_idx, depth + 1)),
+                    right: Box::new(self.build(data, &right_idx, depth + 1)),
+                }
+            }
+        }
+    }
+
+    /// Reduced-error pruning against `holdout` indices: returns the
+    /// pruned node and its holdout error count.
+    fn prune(&self, node: Node, data: &Dataset, grow: &[usize], holdout: &[usize]) -> (Node, usize) {
+        match node {
+            Node::Leaf { class } => {
+                let errors = holdout
+                    .iter()
+                    .filter(|&&i| data.labels()[i] != class)
+                    .count();
+                (Node::Leaf { class }, errors)
+            }
+            Node::Inner {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let (grow_l, grow_r): (Vec<usize>, Vec<usize>) = grow
+                    .iter()
+                    .partition(|&&i| data.rows()[i][feature] <= threshold);
+                let (hold_l, hold_r): (Vec<usize>, Vec<usize>) = holdout
+                    .iter()
+                    .partition(|&&i| data.rows()[i][feature] <= threshold);
+                let (left, err_l) = self.prune(*left, data, &grow_l, &hold_l);
+                let (right, err_r) = self.prune(*right, data, &grow_r, &hold_r);
+                let subtree_errors = err_l + err_r;
+
+                let leaf_class = majority(data, grow);
+                let leaf_errors = holdout
+                    .iter()
+                    .filter(|&&i| data.labels()[i] != leaf_class)
+                    .count();
+                if leaf_errors <= subtree_errors {
+                    (Node::Leaf { class: leaf_class }, leaf_errors)
+                } else {
+                    (
+                        Node::Inner {
+                            feature,
+                            threshold,
+                            left: Box::new(left),
+                            right: Box::new(right),
+                        },
+                        subtree_errors,
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn count_leaves(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 1,
+        Node::Inner { left, right, .. } => count_leaves(left) + count_leaves(right),
+    }
+}
+
+fn count_inner(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Inner { left, right, .. } => 1 + count_inner(left) + count_inner(right),
+    }
+}
+
+fn node_depth(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Inner { left, right, .. } => 1 + node_depth(left).max(node_depth(right)),
+    }
+}
+
+impl Default for RepTree {
+    fn default() -> RepTree {
+        RepTree::new()
+    }
+}
+
+impl Classifier for RepTree {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        data.check_trainable()?;
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(self.seed));
+        let cut = (order.len() * 2) / 3;
+        let (grow, holdout) = order.split_at(cut.max(1));
+
+        let grown = self.build(data, grow, 0);
+        let root = if holdout.is_empty() {
+            grown
+        } else {
+            self.prune(grown, data, grow, holdout).0
+        };
+        self.root = Some(root);
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let mut node = self
+            .root
+            .as_ref()
+            .expect("RepTree::predict called before fit");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Inner {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "REPTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_clean_boundary() {
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
+        for i in 0..90 {
+            d.push(vec![i as f64], usize::from(i >= 45)).expect("row");
+        }
+        let mut tree = RepTree::new();
+        tree.fit(&d).expect("fit");
+        assert_eq!(tree.predict(&[0.0]), 0);
+        assert_eq!(tree.predict(&[89.0]), 1);
+        assert!(tree.num_leaves() >= 2);
+    }
+
+    #[test]
+    fn pruning_controls_noise_overfit() {
+        // Labels are noise: the pruned tree should stay tiny.
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
+        for i in 0..120 {
+            d.push(vec![i as f64], (i * 13 + 5) % 2).expect("row");
+        }
+        let mut tree = RepTree::new();
+        tree.fit(&d).expect("fit");
+        assert!(
+            tree.num_leaves() <= 20,
+            "noise tree kept {} leaves",
+            tree.num_leaves()
+        );
+    }
+
+    #[test]
+    fn different_seeds_may_build_different_trees_but_both_work() {
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
+        for i in 0..90 {
+            d.push(vec![i as f64], usize::from(i >= 45)).expect("row");
+        }
+        for seed in [1, 2, 3] {
+            let mut tree = RepTree::with_seed(seed);
+            tree.fit(&d).expect("fit");
+            assert_eq!(tree.predict(&[80.0]), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn structural_invariant_holds() {
+        let mut d = Dataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+        )
+        .expect("schema");
+        for i in 0..100 {
+            d.push(
+                vec![(i % 10) as f64, (i / 10) as f64],
+                usize::from((i % 10) >= 5),
+            )
+            .expect("row");
+        }
+        let mut tree = RepTree::new();
+        tree.fit(&d).expect("fit");
+        assert_eq!(tree.num_leaves(), tree.num_internal_nodes() + 1);
+    }
+
+    #[test]
+    fn rejects_untrainable() {
+        let d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
+        assert!(RepTree::new().fit(&d).is_err());
+    }
+}

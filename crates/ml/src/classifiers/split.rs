@@ -1,0 +1,232 @@
+//! Shared machinery for threshold-based learners: entropy, numeric
+//! split search, and class histograms.
+
+use crate::data::Dataset;
+
+/// Shannon entropy (bits) of a class histogram.
+pub(crate) fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Class histogram over the instances at `indices`.
+pub(crate) fn histogram(data: &Dataset, indices: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; data.num_classes()];
+    for &i in indices {
+        counts[data.labels()[i]] += 1;
+    }
+    counts
+}
+
+/// Majority label among `indices` (falls back to dataset majority when
+/// empty).
+pub(crate) fn majority(data: &Dataset, indices: &[usize]) -> usize {
+    let counts = histogram(data, indices);
+    if counts.iter().all(|&c| c == 0) {
+        return data.majority_class();
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+        .map(|(i, _)| i)
+        .expect("non-empty histogram")
+}
+
+/// A candidate numeric split: `feature <= threshold` goes left.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Split {
+    pub feature: usize,
+    pub threshold: f64,
+    /// Information gain of the split.
+    pub gain: f64,
+    /// Gain ratio (gain / split info); equals gain when split info is
+    /// degenerate.
+    pub gain_ratio: f64,
+}
+
+/// Find the best threshold split of `indices` on `feature`.
+///
+/// Candidate thresholds are midpoints between consecutive distinct
+/// values; gain is computed incrementally in one sorted pass.
+pub(crate) fn best_split_on_feature(
+    data: &Dataset,
+    indices: &[usize],
+    feature: usize,
+    min_leaf: usize,
+) -> Option<Split> {
+    let n = indices.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    let mut order: Vec<usize> = indices.to_vec();
+    order.sort_by(|&a, &b| {
+        data.rows()[a][feature]
+            .partial_cmp(&data.rows()[b][feature])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let total_counts = histogram(data, indices);
+    let parent_entropy = entropy(&total_counts);
+    let total = n as f64;
+
+    let mut left_counts = vec![0usize; data.num_classes()];
+    let mut best: Option<Split> = None;
+
+    for k in 0..n - 1 {
+        let i = order[k];
+        left_counts[data.labels()[i]] += 1;
+        let left_n = k + 1;
+        let right_n = n - left_n;
+        let value = data.rows()[i][feature];
+        let next_value = data.rows()[order[k + 1]][feature];
+        if value == next_value {
+            continue; // can't split between equal values
+        }
+        if left_n < min_leaf || right_n < min_leaf {
+            continue;
+        }
+        let right_counts: Vec<usize> = total_counts
+            .iter()
+            .zip(&left_counts)
+            .map(|(&t, &l)| t - l)
+            .collect();
+        let p_left = left_n as f64 / total;
+        let p_right = right_n as f64 / total;
+        let child_entropy = p_left * entropy(&left_counts) + p_right * entropy(&right_counts);
+        let gain = parent_entropy - child_entropy;
+        if gain <= 1e-12 {
+            continue;
+        }
+        let split_info = -(p_left * p_left.log2() + p_right * p_right.log2());
+        let gain_ratio = if split_info > 1e-12 {
+            gain / split_info
+        } else {
+            gain
+        };
+        let threshold = (value + next_value) / 2.0;
+        let candidate = Split {
+            feature,
+            threshold,
+            gain,
+            gain_ratio,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.gain > b.gain,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Find the best split over all features, comparing by `use_gain_ratio`
+/// (J48) or raw gain (REPTree).
+pub(crate) fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    min_leaf: usize,
+    use_gain_ratio: bool,
+) -> Option<Split> {
+    let mut best: Option<Split> = None;
+    for feature in 0..data.num_features() {
+        if let Some(candidate) = best_split_on_feature(data, indices, feature, min_leaf) {
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    if use_gain_ratio {
+                        candidate.gain_ratio > b.gain_ratio
+                    } else {
+                        candidate.gain > b.gain
+                    }
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    fn toy() -> Dataset {
+        // Feature 0 separates perfectly at 4.5; feature 1 is noise.
+        let mut d = Dataset::new(
+            vec!["signal".into(), "noise".into()],
+            vec!["neg".into(), "pos".into()],
+        )
+        .expect("schema");
+        for i in 0..10 {
+            d.push(
+                vec![i as f64, (i % 3) as f64],
+                usize::from(i >= 5),
+            )
+            .expect("row");
+        }
+        d
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy(&[0, 0]), 0.0);
+        assert_eq!(entropy(&[10, 0]), 0.0);
+        assert!((entropy(&[5, 5]) - 1.0).abs() < 1e-12);
+        assert!(entropy(&[3, 3, 3]) > 1.0);
+    }
+
+    #[test]
+    fn perfect_split_is_found() {
+        let d = toy();
+        let indices: Vec<usize> = (0..10).collect();
+        let split = best_split(&d, &indices, 1, true).expect("split exists");
+        assert_eq!(split.feature, 0);
+        assert!((split.threshold - 4.5).abs() < 1e-9);
+        assert!((split.gain - 1.0).abs() < 1e-9, "full bit of information");
+    }
+
+    #[test]
+    fn min_leaf_blocks_tiny_partitions() {
+        let d = toy();
+        let indices: Vec<usize> = (0..10).collect();
+        assert!(best_split(&d, &indices, 6, true).is_none());
+    }
+
+    #[test]
+    fn constant_feature_yields_no_split() {
+        let mut d = Dataset::new(vec!["flat".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
+        for i in 0..6 {
+            d.push(vec![1.0], i % 2).expect("row");
+        }
+        let indices: Vec<usize> = (0..6).collect();
+        assert!(best_split(&d, &indices, 1, true).is_none());
+    }
+
+    #[test]
+    fn majority_and_histogram() {
+        let d = toy();
+        let all: Vec<usize> = (0..10).collect();
+        assert_eq!(histogram(&d, &all), vec![5, 5]);
+        assert_eq!(majority(&d, &all), 0, "tie to lower index");
+        assert_eq!(majority(&d, &[9]), 1);
+        assert_eq!(majority(&d, &[]), 0, "empty falls back to dataset majority");
+    }
+}

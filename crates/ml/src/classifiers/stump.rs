@@ -1,0 +1,138 @@
+use crate::classifier::Classifier;
+use crate::classifiers::split::{best_split, majority};
+use crate::data::{Dataset, MlError};
+
+/// WEKA `DecisionStump`: a depth-one decision tree.
+///
+/// Picks the single best information-gain threshold and predicts each
+/// side's majority class. The smallest hardware footprint of any
+/// threshold learner — one comparator.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, DecisionStump};
+///
+/// let mut data = Dataset::new(vec!["x".into()], vec!["lo".into(), "hi".into()])?;
+/// for i in 0..10 {
+///     data.push(vec![i as f64], usize::from(i >= 5))?;
+/// }
+/// let mut stump = DecisionStump::new();
+/// stump.fit(&data)?;
+/// assert_eq!(stump.predict(&[2.0]), 0);
+/// assert_eq!(stump.predict(&[7.0]), 1);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecisionStump {
+    model: Option<StumpModel>,
+}
+
+#[derive(Debug, Clone)]
+struct StumpModel {
+    feature: usize,
+    threshold: f64,
+    left_class: usize,
+    right_class: usize,
+}
+
+impl DecisionStump {
+    /// A new, untrained stump.
+    pub fn new() -> DecisionStump {
+        DecisionStump::default()
+    }
+
+    /// `(feature, threshold)` of the learned test, after a successful
+    /// fit.
+    pub fn rule(&self) -> Option<(usize, f64)> {
+        self.model.as_ref().map(|m| (m.feature, m.threshold))
+    }
+}
+
+impl Classifier for DecisionStump {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        data.check_trainable()?;
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let model = match best_split(data, &indices, 1, false) {
+            Some(split) => {
+                let (left, right): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.rows()[i][split.feature] <= split.threshold);
+                StumpModel {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left_class: majority(data, &left),
+                    right_class: majority(data, &right),
+                }
+            }
+            // No usable split (e.g. all features constant): degenerate
+            // stump predicting the majority on both sides.
+            None => StumpModel {
+                feature: 0,
+                threshold: f64::INFINITY,
+                left_class: data.majority_class(),
+                right_class: data.majority_class(),
+            },
+        };
+        self.model = Some(model);
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let m = self
+            .model
+            .as_ref()
+            .expect("DecisionStump::predict called before fit");
+        if features[m.feature] <= m.threshold {
+            m.left_class
+        } else {
+            m.right_class
+        }
+    }
+
+    fn name(&self) -> &str {
+        "DecisionStump"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_threshold() {
+        let mut data = Dataset::new(
+            vec!["noise".into(), "signal".into()],
+            vec!["a".into(), "b".into()],
+        )
+        .expect("schema");
+        for i in 0..20 {
+            data.push(vec![1.0, i as f64], usize::from(i >= 10))
+                .expect("row");
+        }
+        let mut stump = DecisionStump::new();
+        stump.fit(&data).expect("fit");
+        let (feature, threshold) = stump.rule().expect("rule");
+        assert_eq!(feature, 1);
+        assert!((threshold - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_data_predicts_majority() {
+        let mut data = Dataset::new(vec!["flat".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
+        for i in 0..9 {
+            data.push(vec![3.0], usize::from(i < 3)).expect("row");
+        }
+        let mut stump = DecisionStump::new();
+        stump.fit(&data).expect("fit");
+        assert_eq!(stump.predict(&[3.0]), 0);
+        assert_eq!(stump.predict(&[-100.0]), 0);
+    }
+
+    #[test]
+    fn rejects_untrainable_data() {
+        let data = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()]).expect("schema");
+        assert!(DecisionStump::new().fit(&data).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+use crate::classifier::Classifier;
+use crate::data::{Dataset, MlError};
+
+/// WEKA `ZeroR`: always predicts the training majority class.
+///
+/// The floor every other classifier must beat; also the default rule
+/// inside [`JRip`](crate::JRip) and the fallback for degenerate leaves.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, ZeroR};
+///
+/// let mut data = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()])?;
+/// data.push(vec![1.0], 1)?;
+/// data.push(vec![2.0], 1)?;
+/// data.push(vec![3.0], 0)?;
+/// let mut zr = ZeroR::new();
+/// zr.fit(&data)?;
+/// assert_eq!(zr.predict(&[100.0]), 1);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ZeroR {
+    majority: Option<usize>,
+}
+
+impl ZeroR {
+    /// A new, untrained ZeroR.
+    pub fn new() -> ZeroR {
+        ZeroR::default()
+    }
+}
+
+impl Classifier for ZeroR {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        self.majority = Some(data.majority_class());
+        Ok(())
+    }
+
+    fn predict(&self, _features: &[f64]) -> usize {
+        self.majority.expect("ZeroR::predict called before fit")
+    }
+
+    fn name(&self) -> &str {
+        "ZeroR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_majority_everywhere() {
+        let mut data = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into(), "c".into()])
+            .expect("schema");
+        for _ in 0..3 {
+            data.push(vec![0.0], 2).expect("row");
+        }
+        data.push(vec![9.0], 0).expect("row");
+        let mut zr = ZeroR::new();
+        zr.fit(&data).expect("fit");
+        assert_eq!(zr.predict(&[0.0]), 2);
+        assert_eq!(zr.predict(&[9.0]), 2);
+        assert_eq!(zr.name(), "ZeroR");
+    }
+
+    #[test]
+    fn empty_data_is_an_error() {
+        let data = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()]).expect("schema");
+        assert_eq!(ZeroR::new().fit(&data), Err(MlError::EmptyDataset));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let _ = ZeroR::new().predict(&[1.0]);
+    }
+
+    #[test]
+    fn refit_replaces_model() {
+        let mut a = Dataset::new(vec!["f".into()], vec!["x".into(), "y".into()]).expect("schema");
+        a.push(vec![0.0], 0).expect("row");
+        let mut zr = ZeroR::new();
+        zr.fit(&a).expect("fit");
+        assert_eq!(zr.predict(&[0.0]), 0);
+        let mut c = Dataset::new(vec!["f".into()], vec!["x".into(), "y".into()]).expect("schema");
+        c.push(vec![0.0], 1).expect("row");
+        zr.fit(&c).expect("refit");
+        assert_eq!(zr.predict(&[0.0]), 1);
+    }
+}

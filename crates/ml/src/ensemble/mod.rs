@@ -1,0 +1,17 @@
+//! Ensemble learners: boosting, bagging and random forests.
+//!
+//! The hardware-malware-detection literature the reference evaluation
+//! builds on (Khasawneh et al. RAID'15; Sayadi et al. DAC'18/CF'18)
+//! shows ensembles of weak HPC classifiers outperforming single strong
+//! ones. These implementations follow the WEKA schemes:
+//! [`AdaBoostM1`] (boosting by resampling), [`Bagging`] (bootstrap
+//! aggregation over any base learner) and [`RandomForest`]
+//! (bagged trees with per-split feature subsampling).
+
+pub mod adaboost;
+pub mod bagging;
+pub mod random_forest;
+
+pub use adaboost::AdaBoostM1;
+pub use bagging::Bagging;
+pub use random_forest::RandomForest;

@@ -1,0 +1,294 @@
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::classifier::Classifier;
+use crate::classifiers::split::{best_split_on_feature, histogram, majority, Split};
+use crate::data::{Dataset, MlError};
+
+/// WEKA `RandomForest`: bagged information-gain trees with per-split
+/// feature subsampling (√F features considered at each node).
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Classifier, Dataset, RandomForest};
+///
+/// let mut data = Dataset::new(
+///     vec!["x".into(), "y".into()],
+///     vec!["a".into(), "b".into()],
+/// )?;
+/// for i in 0..100 {
+///     data.push(vec![(i % 10) as f64, (i / 10) as f64], usize::from(i % 10 >= 5))?;
+/// }
+/// let mut forest = RandomForest::new(10);
+/// forest.fit(&data)?;
+/// assert_eq!(forest.predict(&[8.0, 3.0]), 1);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees_target: usize,
+    min_leaf: usize,
+    max_depth: usize,
+    seed: u64,
+    trees: Vec<Node>,
+    num_classes: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Inner {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl RandomForest {
+    /// A forest with `trees` members and WEKA-ish defaults (unpruned
+    /// trees, minimum 1 instance per leaf, depth cap 30).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trees` is zero.
+    pub fn new(trees: usize) -> RandomForest {
+        assert!(trees > 0, "trees must be non-zero");
+        RandomForest {
+            trees_target: trees,
+            min_leaf: 1,
+            max_depth: 30,
+            seed: 1,
+            trees: Vec::new(),
+            num_classes: 0,
+        }
+    }
+
+    /// Deterministic bootstrap/subsampling seed.
+    pub fn with_seed(mut self, seed: u64) -> RandomForest {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of trained trees (0 before fit).
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total internal (test) nodes across the forest — the comparator
+    /// count of a hardware implementation.
+    pub fn total_internal_nodes(&self) -> usize {
+        self.trees.iter().map(count_inner).sum()
+    }
+
+    /// The deepest tree's depth.
+    pub fn max_tree_depth(&self) -> usize {
+        self.trees.iter().map(node_depth).max().unwrap_or(0)
+    }
+
+    fn grow(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        depth: usize,
+        rng: &mut SmallRng,
+    ) -> Node {
+        let counts = histogram(data, indices);
+        let class = majority(data, indices);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= self.max_depth || indices.len() < 2 * self.min_leaf {
+            return Node::Leaf { class };
+        }
+
+        // Feature subsampling: sqrt(F) candidates per node.
+        let features = data.num_features();
+        let k = ((features as f64).sqrt().round() as usize).clamp(1, features);
+        let mut candidates: Vec<usize> = (0..features).collect();
+        candidates.shuffle(rng);
+        candidates.truncate(k);
+
+        let mut best: Option<Split> = None;
+        for &feature in &candidates {
+            if let Some(candidate) = best_split_on_feature(data, indices, feature, self.min_leaf)
+            {
+                if best.as_ref().map(|b| candidate.gain > b.gain).unwrap_or(true) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        match best {
+            None => Node::Leaf { class },
+            Some(split) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.rows()[i][split.feature] <= split.threshold);
+                Node::Inner {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left: Box::new(self.grow(data, &left_idx, depth + 1, rng)),
+                    right: Box::new(self.grow(data, &right_idx, depth + 1, rng)),
+                }
+            }
+        }
+    }
+}
+
+fn count_inner(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Inner { left, right, .. } => 1 + count_inner(left) + count_inner(right),
+    }
+}
+
+fn node_depth(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Inner { left, right, .. } => 1 + node_depth(left).max(node_depth(right)),
+    }
+}
+
+fn classify(node: &Node, features: &[f64]) -> usize {
+    match node {
+        Node::Leaf { class } => *class,
+        Node::Inner {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if features[*feature] <= *threshold {
+                classify(left, features)
+            } else {
+                classify(right, features)
+            }
+        }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        data.check_trainable()?;
+        let n = data.len();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        self.num_classes = data.num_classes();
+        while self.trees.len() < self.trees_target {
+            let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let bootstrap = data.subset(&sample);
+            if bootstrap.distinct_classes() < 2 {
+                continue;
+            }
+            let indices: Vec<usize> = (0..bootstrap.len()).collect();
+            let tree = self.grow(&bootstrap, &indices, 0, &mut rng);
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        assert!(!self.trees.is_empty(), "RandomForest::predict called before fit");
+        let mut votes = vec![0usize; self.num_classes.max(2)];
+        for tree in &self.trees {
+            let prediction = classify(tree, features);
+            if prediction < votes.len() {
+                votes[prediction] += 1;
+            }
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &str {
+        "RandomForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluation;
+
+    fn grid() -> Dataset {
+        let mut d = Dataset::new(
+            vec!["x".into(), "y".into(), "noise".into()],
+            vec!["a".into(), "b".into()],
+        )
+        .expect("schema");
+        for i in 0..150 {
+            let x = (i % 10) as f64;
+            let y = ((i / 10) % 5) as f64;
+            let label = usize::from(x + y >= 7.0);
+            d.push(vec![x, y, (i % 7) as f64], label).expect("row");
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_a_diagonal_boundary() {
+        let data = grid();
+        let mut forest = RandomForest::new(15);
+        forest.fit(&data).expect("fit");
+        let accuracy = Evaluation::of(&forest, &data).accuracy();
+        assert!(accuracy > 0.9, "training accuracy {accuracy}");
+        assert_eq!(forest.num_trees(), 15);
+        assert!(forest.total_internal_nodes() > 15);
+        assert!(forest.max_tree_depth() >= 2);
+    }
+
+    #[test]
+    fn held_out_generalisation_beats_chance() {
+        let data = grid();
+        let (train, test) = data.split(0.7, 5);
+        let mut forest = RandomForest::new(20);
+        forest.fit(&train).expect("fit");
+        assert!(Evaluation::of(&forest, &test).accuracy() > 0.8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = grid();
+        let run = |seed| {
+            let mut forest = RandomForest::new(5).with_seed(seed);
+            forest.fit(&data).expect("fit");
+            forest.total_internal_nodes()
+        };
+        assert_eq!(run(2), run(2));
+    }
+
+    #[test]
+    fn multiclass_voting_works() {
+        let mut d = Dataset::new(
+            vec!["x".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+        )
+        .expect("schema");
+        for i in 0..90 {
+            d.push(vec![i as f64], i / 30).expect("row");
+        }
+        let mut forest = RandomForest::new(9);
+        forest.fit(&d).expect("fit");
+        assert_eq!(forest.predict(&[10.0]), 0);
+        assert_eq!(forest.predict(&[45.0]), 1);
+        assert_eq!(forest.predict(&[80.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "trees")]
+    fn zero_trees_panics() {
+        let _ = RandomForest::new(0);
+    }
+
+    #[test]
+    fn rejects_untrainable() {
+        let d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
+        assert!(RandomForest::new(3).fit(&d).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! WEKA ARFF interchange.
+//!
+//! The reference pipeline converted its combined CSV into ARFF for WEKA.
+//! This module writes and parses the dialect WEKA consumes:
+//!
+//! ```text
+//! @relation hpc-malware
+//! @attribute branch-instructions numeric
+//! ...
+//! @attribute class {benign,backdoor,rootkit,trojan,virus,worm}
+//! @data
+//! 123.0,4.5,...,trojan
+//! ```
+//!
+//! The paper notes that some classifiers needed the class column as
+//! numeric 0/1; [`write_arff_numeric_class`] produces that variant for
+//! binary datasets.
+
+use std::io::{BufRead, Write};
+
+use hbmd_events::{FeatureVector, HpcEvent};
+use hbmd_malware::{AppClass, SampleId};
+
+use crate::dataset::{DataRow, HpcDataset};
+use crate::error::PerfError;
+
+/// Write `dataset` as an ARFF file with a nominal class attribute whose
+/// domain is the classes actually present (in index order).
+///
+/// A `&mut` writer can be passed.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`; returns [`PerfError::Config`]
+/// when the dataset is empty (an ARFF class attribute needs a domain).
+pub fn write_arff<W: Write>(
+    mut out: W,
+    relation: &str,
+    dataset: &HpcDataset,
+) -> Result<(), PerfError> {
+    if dataset.is_empty() {
+        return Err(PerfError::Config(
+            "cannot write an ARFF file for an empty dataset".to_owned(),
+        ));
+    }
+    writeln!(out, "@relation {relation}")?;
+    writeln!(out)?;
+    for event in HpcEvent::ALL {
+        writeln!(out, "@attribute {} numeric", event.name())?;
+    }
+    let counts = dataset.class_counts();
+    let domain: Vec<&str> = AppClass::ALL
+        .iter()
+        .filter(|c| counts[c.index()] > 0)
+        .map(|c| c.name())
+        .collect();
+    writeln!(out, "@attribute class {{{}}}", domain.join(","))?;
+    writeln!(out)?;
+    writeln!(out, "@data")?;
+    for row in dataset.rows() {
+        let values: Vec<String> = row
+            .features
+            .as_slice()
+            .iter()
+            .map(|v| format!("{v:.4}"))
+            .collect();
+        writeln!(out, "{},{}", values.join(","), row.class.name())?;
+    }
+    Ok(())
+}
+
+/// Write a binary dataset with the class encoded numerically: 0 for
+/// benign, 1 for any malware family — the 0/1 conversion the reference
+/// evaluation applied for classifiers that require numeric classes.
+///
+/// # Errors
+///
+/// As [`write_arff`].
+pub fn write_arff_numeric_class<W: Write>(
+    mut out: W,
+    relation: &str,
+    dataset: &HpcDataset,
+) -> Result<(), PerfError> {
+    if dataset.is_empty() {
+        return Err(PerfError::Config(
+            "cannot write an ARFF file for an empty dataset".to_owned(),
+        ));
+    }
+    writeln!(out, "@relation {relation}")?;
+    writeln!(out)?;
+    for event in HpcEvent::ALL {
+        writeln!(out, "@attribute {} numeric", event.name())?;
+    }
+    writeln!(out, "@attribute class numeric")?;
+    writeln!(out)?;
+    writeln!(out, "@data")?;
+    for row in dataset.rows() {
+        let values: Vec<String> = row
+            .features
+            .as_slice()
+            .iter()
+            .map(|v| format!("{v:.4}"))
+            .collect();
+        writeln!(
+            out,
+            "{},{}",
+            values.join(","),
+            u8::from(row.class.is_malware())
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse an ARFF file produced by [`write_arff`]. Rows get sequential
+/// synthetic [`SampleId`]s (ARFF does not carry provenance).
+///
+/// A `&mut` reader can be passed.
+///
+/// # Errors
+///
+/// Returns [`PerfError::ParseArff`] on structural problems: missing
+/// `@data`, attribute mismatch with the 16 expected events, wrong value
+/// counts, non-numeric features or out-of-domain classes.
+pub fn read_arff<R: BufRead>(reader: R) -> Result<HpcDataset, PerfError> {
+    let mut attributes: Vec<String> = Vec::new();
+    let mut class_domain: Vec<AppClass> = Vec::new();
+    let mut in_data = false;
+    let mut dataset = HpcDataset::new();
+    let mut next_id = 0u32;
+
+    for (index, line) in reader.lines().enumerate() {
+        let line_no = index + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        if !in_data {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("@relation") {
+                continue;
+            }
+            if lower.starts_with("@attribute") {
+                let rest = line["@attribute".len()..].trim();
+                let (name, kind) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| arff_err(line_no, "attribute needs a type"))?;
+                let name = name.trim_matches('\'');
+                if name == "class" {
+                    let kind = kind.trim();
+                    let domain = kind
+                        .strip_prefix('{')
+                        .and_then(|k| k.strip_suffix('}'))
+                        .ok_or_else(|| arff_err(line_no, "class domain must be nominal"))?;
+                    for value in domain.split(',') {
+                        class_domain.push(value.trim().parse().map_err(|_| {
+                            arff_err(line_no, &format!("unknown class `{}`", value.trim()))
+                        })?);
+                    }
+                } else {
+                    attributes.push(name.to_owned());
+                }
+                continue;
+            }
+            if lower.starts_with("@data") {
+                if attributes.len() != HpcEvent::COUNT {
+                    return Err(arff_err(
+                        line_no,
+                        &format!("expected 16 feature attributes, found {}", attributes.len()),
+                    ));
+                }
+                for (i, event) in HpcEvent::ALL.iter().enumerate() {
+                    if attributes[i] != event.name() {
+                        return Err(arff_err(
+                            line_no,
+                            &format!(
+                                "attribute {i} should be `{}`, found `{}`",
+                                event.name(),
+                                attributes[i]
+                            ),
+                        ));
+                    }
+                }
+                if class_domain.is_empty() {
+                    return Err(arff_err(line_no, "missing class attribute"));
+                }
+                in_data = true;
+                continue;
+            }
+            return Err(arff_err(line_no, &format!("unexpected line `{line}`")));
+        }
+
+        // Data section.
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != HpcEvent::COUNT + 1 {
+            return Err(arff_err(
+                line_no,
+                &format!("expected 17 values, found {}", fields.len()),
+            ));
+        }
+        let mut values = Vec::with_capacity(HpcEvent::COUNT);
+        for field in &fields[..HpcEvent::COUNT] {
+            values.push(field.trim().parse::<f64>().map_err(|_| {
+                arff_err(line_no, &format!("bad numeric value `{}`", field.trim()))
+            })?);
+        }
+        let class_name = fields[HpcEvent::COUNT].trim();
+        let class: AppClass = class_name
+            .parse()
+            .map_err(|_| arff_err(line_no, &format!("unknown class `{class_name}`")))?;
+        if !class_domain.contains(&class) {
+            return Err(arff_err(
+                line_no,
+                &format!("class `{class_name}` not in declared domain"),
+            ));
+        }
+        dataset.push(DataRow {
+            sample: SampleId(next_id),
+            class,
+            features: FeatureVector::from_slice(&values).expect("16 values"),
+        });
+        next_id += 1;
+    }
+
+    if !in_data {
+        return Err(arff_err(0, "missing @data section"));
+    }
+    Ok(dataset)
+}
+
+fn arff_err(line: usize, message: &str) -> PerfError {
+    PerfError::ParseArff {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn toy() -> HpcDataset {
+        let mut dataset = HpcDataset::new();
+        for (i, class) in [AppClass::Benign, AppClass::Rootkit].iter().enumerate() {
+            let values: Vec<f64> = (0..HpcEvent::COUNT).map(|j| (i + j) as f64 * 0.5).collect();
+            dataset.push(DataRow {
+                sample: SampleId(i as u32),
+                class: *class,
+                features: FeatureVector::from_slice(&values).expect("16"),
+            });
+        }
+        dataset
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = toy();
+        let mut buffer = Vec::new();
+        write_arff(&mut buffer, "hpc-test", &original).expect("write");
+        let parsed = read_arff(BufReader::new(buffer.as_slice())).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.rows()[1].class, AppClass::Rootkit);
+        for (a, b) in parsed.rows()[0]
+            .features
+            .as_slice()
+            .iter()
+            .zip(original.rows()[0].features.as_slice())
+        {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn class_domain_lists_only_present_classes() {
+        let mut buffer = Vec::new();
+        write_arff(&mut buffer, "r", &toy()).expect("write");
+        let text = String::from_utf8(buffer).expect("utf8");
+        assert!(text.contains("@attribute class {benign,rootkit}"));
+    }
+
+    #[test]
+    fn numeric_class_variant_encodes_binary_labels() {
+        let mut buffer = Vec::new();
+        write_arff_numeric_class(&mut buffer, "r", &toy()).expect("write");
+        let text = String::from_utf8(buffer).expect("utf8");
+        assert!(text.contains("@attribute class numeric"));
+        let data: Vec<&str> = text.lines().skip_while(|l| *l != "@data").skip(1).collect();
+        assert!(data[0].ends_with(",0"), "benign row: {}", data[0]);
+        assert!(data[1].ends_with(",1"), "rootkit row: {}", data[1]);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let mut buffer = Vec::new();
+        assert!(write_arff(&mut buffer, "r", &HpcDataset::new()).is_err());
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        // Missing @data.
+        let text = "@relation r\n@attribute branch-instructions numeric\n";
+        assert!(read_arff(BufReader::new(text.as_bytes())).is_err());
+
+        // Out-of-domain class value.
+        let mut buffer = Vec::new();
+        write_arff(&mut buffer, "r", &toy()).expect("write");
+        let text = String::from_utf8(buffer).expect("utf8");
+        let bad = text.replacen(",rootkit", ",worm", 1);
+        let err = read_arff(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("domain"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let mut buffer = Vec::new();
+        write_arff(&mut buffer, "r", &toy()).expect("write");
+        let mut text = String::from(
+            "% produced by hbmd\n",
+        );
+        text.push_str(&String::from_utf8(buffer).expect("utf8"));
+        let parsed = read_arff(BufReader::new(text.as_bytes())).expect("parse");
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn wrong_attribute_order_is_an_error() {
+        let mut buffer = Vec::new();
+        write_arff(&mut buffer, "r", &toy()).expect("write");
+        let text = String::from_utf8(buffer).expect("utf8").replacen(
+            "@attribute branch-instructions numeric",
+            "@attribute cache-misses numeric",
+            1,
+        );
+        assert!(read_arff(BufReader::new(text.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+use hbmd_malware::{MultiEngineLabeler, Sample, SampleCatalog};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{DataRow, HpcDataset};
+use crate::error::PerfError;
+use crate::sampler::{Sampler, SamplerConfig};
+
+/// Configuration for whole-catalog collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectorConfig {
+    /// Per-sample observation setup.
+    pub sampler: SamplerConfig,
+    /// Worker threads (1 = sequential). Collection is embarrassingly
+    /// parallel across samples; results are returned in catalog order
+    /// regardless of thread count.
+    pub threads: usize,
+    /// Label rows with a multi-engine labeller instead of ground truth,
+    /// introducing realistic label noise.
+    pub labeler: Option<MultiEngineLabeler>,
+}
+
+impl CollectorConfig {
+    /// The reference setup on all available parallelism.
+    pub fn paper() -> CollectorConfig {
+        CollectorConfig {
+            sampler: SamplerConfig::paper(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            labeler: None,
+        }
+    }
+
+    /// A reduced setup for tests: tiny machine, 4 short windows,
+    /// sequential.
+    pub fn fast() -> CollectorConfig {
+        CollectorConfig {
+            sampler: SamplerConfig::fast(),
+            threads: 1,
+            labeler: None,
+        }
+    }
+}
+
+impl Default for CollectorConfig {
+    fn default() -> CollectorConfig {
+        CollectorConfig::paper()
+    }
+}
+
+/// Runs the full collection pipeline over a [`SampleCatalog`]: every
+/// sample is launched in its container, sampled for the configured
+/// number of windows, and its windows appended as dataset rows.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_malware::SampleCatalog;
+/// use hbmd_perf::{Collector, CollectorConfig};
+///
+/// let catalog = SampleCatalog::scaled(0.01, 3);
+/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// assert_eq!(dataset.len(), catalog.len() * 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Collector {
+    config: CollectorConfig,
+}
+
+impl Collector {
+    /// Build a collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sampler configuration is invalid or `threads` is
+    /// zero; collection setups are authored constants.
+    pub fn new(config: CollectorConfig) -> Collector {
+        if let Err(e) = config.sampler.validate() {
+            panic!("invalid collector config: {e}");
+        }
+        assert!(config.threads > 0, "threads must be non-zero");
+        Collector { config }
+    }
+
+    /// Fallible constructor for dynamically-built configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::Config`] under the same conditions
+    /// [`Collector::new`] panics.
+    pub fn try_new(config: CollectorConfig) -> Result<Collector, PerfError> {
+        config.sampler.validate()?;
+        if config.threads == 0 {
+            return Err(PerfError::Config("threads must be non-zero".to_owned()));
+        }
+        Ok(Collector { config })
+    }
+
+    /// The configuration this collector runs with.
+    pub fn config(&self) -> &CollectorConfig {
+        &self.config
+    }
+
+    /// Collect the whole catalog into a labelled dataset, in catalog
+    /// order.
+    pub fn collect(&self, catalog: &SampleCatalog) -> HpcDataset {
+        let samples = catalog.samples();
+        if self.config.threads <= 1 || samples.len() < 2 {
+            return samples
+                .iter()
+                .flat_map(|s| self.collect_one(s))
+                .collect();
+        }
+
+        // Parallel: chunk the catalog across scoped worker threads and
+        // reassemble in order.
+        let threads = self.config.threads.min(samples.len());
+        let chunk_len = samples.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<DataRow>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .flat_map(|s| self.collect_one(s))
+                            .collect::<Vec<DataRow>>()
+                    })
+                })
+                .collect();
+            chunks = handles
+                .into_iter()
+                .map(|h| h.join().expect("collection worker panicked"))
+                .collect();
+        })
+        .expect("collection scope panicked");
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Collect one sample's rows.
+    pub fn collect_one(&self, sample: &Sample) -> Vec<DataRow> {
+        let sampler = Sampler::new(self.config.sampler.clone()).expect("validated");
+        let class = match &self.config.labeler {
+            Some(labeler) => labeler.label(sample).label,
+            None => sample.class(),
+        };
+        sampler
+            .collect_sample(sample)
+            .into_iter()
+            .map(|features| DataRow {
+                sample: sample.id(),
+                class,
+                features,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbmd_malware::AppClass;
+
+    #[test]
+    fn collects_rows_for_every_sample() {
+        let catalog = SampleCatalog::scaled(0.01, 5);
+        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        assert_eq!(dataset.len(), catalog.len() * 4);
+        // Every class present.
+        let counts = dataset.class_counts();
+        for class in AppClass::ALL {
+            assert!(counts[class.index()] > 0, "{class} missing");
+        }
+    }
+
+    #[test]
+    fn parallel_collection_matches_sequential() {
+        let catalog = SampleCatalog::scaled(0.01, 5);
+        let sequential = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let parallel = Collector::new(CollectorConfig {
+            threads: 4,
+            ..CollectorConfig::fast()
+        })
+        .collect(&catalog);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn labeler_can_introduce_label_noise() {
+        let catalog = SampleCatalog::scaled(0.02, 5);
+        let truth = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let labelled = Collector::new(CollectorConfig {
+            labeler: Some(MultiEngineLabeler::new(10, 0.5, 0.05, 1)),
+            ..CollectorConfig::fast()
+        })
+        .collect(&catalog);
+        assert_eq!(truth.len(), labelled.len());
+        let disagreements = truth
+            .rows()
+            .iter()
+            .zip(labelled.rows())
+            .filter(|(a, b)| a.class != b.class)
+            .count();
+        assert!(disagreements > 0, "a sloppy labeller should disagree");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs() {
+        let mut config = CollectorConfig::fast();
+        config.threads = 0;
+        assert!(Collector::try_new(config).is_err());
+
+        let mut config = CollectorConfig::fast();
+        config.sampler.windows_per_sample = 0;
+        assert!(Collector::try_new(config).is_err());
+    }
+
+    #[test]
+    fn different_classes_produce_separable_rows() {
+        // The whole premise of the paper: class signatures must be
+        // visible in the collected features. Check the class-mean
+        // store counts differ strongly between worm and backdoor.
+        use hbmd_events::HpcEvent;
+        let catalog = SampleCatalog::with_counts(
+            &[(AppClass::Worm, 6), (AppClass::Backdoor, 6)],
+            11,
+        );
+        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let mean = |class: AppClass| {
+            let rows: Vec<f64> = dataset
+                .of_class(class)
+                .map(|r| r.features[HpcEvent::L1DcacheStores])
+                .collect();
+            rows.iter().sum::<f64>() / rows.len() as f64
+        };
+        let worm = mean(AppClass::Worm);
+        let backdoor = mean(AppClass::Backdoor);
+        assert!(
+            worm > 2.0 * backdoor,
+            "worm stores {worm} vs backdoor {backdoor}"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+use hbmd_malware::Sample;
+use hbmd_uarch::{Cpu, CpuConfig, Instruction, InstructionSource, StreamParams, SyntheticStream};
+
+/// Execution environment for one sample — the LXC-container substitute.
+///
+/// The reference setup ran each malware specimen in its own Linux
+/// container so that (a) the malware could not infect the host and
+/// (b) host activity did not bias the measured counters. In simulation,
+/// safety is free; what the container model preserves is the *counter
+/// hygiene*: [`Container::isolated`] gives every sample a cold, private
+/// core, while [`Container::shared_host`] deliberately interleaves a
+/// benign host workload on the same core to quantify how much signal
+/// containerisation saves (an ablation the paper's design implies).
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_malware::{AppClass, Sample, SampleId};
+/// use hbmd_perf::Container;
+/// use hbmd_uarch::CpuConfig;
+///
+/// let sample = Sample::generate(SampleId(0), AppClass::Virus, 1);
+/// let mut container = Container::isolated(CpuConfig::tiny());
+/// let (cpu, mut stream) = container.launch(&sample);
+/// cpu.run(&mut stream, 1_000);
+/// assert_eq!(cpu.stats().instructions, 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Container {
+    cpu_config: CpuConfig,
+    /// Host instructions interleaved per workload instruction
+    /// (0 = isolated).
+    host_noise: f64,
+    cpu: Option<Cpu>,
+}
+
+impl Container {
+    /// A fully isolated container: fresh microarchitectural state per
+    /// sample, no host interference.
+    pub fn isolated(cpu_config: CpuConfig) -> Container {
+        Container {
+            cpu_config,
+            host_noise: 0.0,
+            cpu: None,
+        }
+    }
+
+    /// A shared-host environment: for every workload instruction,
+    /// `noise_ratio` host instructions (a benign background mix) execute
+    /// on the same core, polluting caches, TLBs and predictor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `noise_ratio` is negative or not finite.
+    pub fn shared_host(cpu_config: CpuConfig, noise_ratio: f64) -> Container {
+        assert!(
+            noise_ratio.is_finite() && noise_ratio >= 0.0,
+            "noise_ratio must be finite and non-negative"
+        );
+        Container {
+            cpu_config,
+            host_noise: noise_ratio,
+            cpu: None,
+        }
+    }
+
+    /// Ratio of interleaved host instructions (0 for isolation).
+    pub fn host_noise(&self) -> f64 {
+        self.host_noise
+    }
+
+    /// Launch `sample`: returns the (fresh or host-warmed) core and the
+    /// instruction stream to execute on it.
+    ///
+    /// Isolated containers hand out a cold core each launch. Shared-host
+    /// containers keep one core across launches (the host never reboots
+    /// between samples) and wrap the sample stream so host work is
+    /// interleaved.
+    pub fn launch(&mut self, sample: &Sample) -> (&mut Cpu, ContainedStream) {
+        if self.host_noise == 0.0 || self.cpu.is_none() {
+            self.cpu = Some(Cpu::new(self.cpu_config.clone()));
+        }
+        let stream = ContainedStream::new(sample, self.host_noise);
+        (self.cpu.as_mut().expect("just installed"), stream)
+    }
+}
+
+/// The instruction stream a [`Container`] hands out: the sample's own
+/// stream, optionally interleaved with benign host work.
+#[derive(Debug, Clone)]
+pub struct ContainedStream {
+    workload: hbmd_malware::SampleStream,
+    host: Option<SyntheticStream>,
+    /// Fractional accumulator of pending host instructions.
+    noise_ratio: f64,
+    noise_debt: f64,
+}
+
+impl ContainedStream {
+    fn new(sample: &Sample, noise_ratio: f64) -> ContainedStream {
+        let host = if noise_ratio > 0.0 {
+            Some(SyntheticStream::new(
+                StreamParams::balanced(),
+                sample.seed() ^ 0xF00D,
+            ))
+        } else {
+            None
+        };
+        ContainedStream {
+            workload: sample.stream(),
+            host,
+            noise_ratio,
+            noise_debt: 0.0,
+        }
+    }
+}
+
+impl InstructionSource for ContainedStream {
+    fn next_instruction(&mut self) -> Instruction {
+        if let Some(host) = &mut self.host {
+            if self.noise_debt >= 1.0 {
+                self.noise_debt -= 1.0;
+                return host.next_instruction();
+            }
+            self.noise_debt += self.noise_ratio;
+        }
+        self.workload.next_instruction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbmd_events::HpcEvent;
+    use hbmd_malware::{AppClass, SampleId};
+
+    fn sample(class: AppClass) -> Sample {
+        Sample::generate(SampleId(0), class, 3)
+    }
+
+    #[test]
+    fn isolated_container_gives_cold_state_each_launch() {
+        let mut container = Container::isolated(CpuConfig::tiny());
+        let s = sample(AppClass::Trojan);
+        let first = {
+            let (cpu, mut stream) = container.launch(&s);
+            cpu.run(&mut stream, 5_000);
+            *cpu.counters()
+        };
+        let second = {
+            let (cpu, mut stream) = container.launch(&s);
+            cpu.run(&mut stream, 5_000);
+            *cpu.counters()
+        };
+        assert_eq!(first, second, "cold launches are identical");
+    }
+
+    #[test]
+    fn shared_host_keeps_warm_state() {
+        // On the Haswell-sized LLC the trojan's working set fits, so a
+        // second launch on the never-rebooted host core sees far fewer
+        // cold LLC misses than the first.
+        let mut container = Container::shared_host(CpuConfig::haswell(), 0.5);
+        let s = sample(AppClass::Trojan);
+        let first = {
+            let (cpu, mut stream) = container.launch(&s);
+            cpu.run(&mut stream, 20_000);
+            cpu.counters()[HpcEvent::LlcLoadMisses]
+        };
+        let second = {
+            let (cpu, mut stream) = container.launch(&s);
+            let before = cpu.counters()[HpcEvent::LlcLoadMisses];
+            cpu.run(&mut stream, 20_000);
+            cpu.counters()[HpcEvent::LlcLoadMisses] - before
+        };
+        assert!(
+            second < first,
+            "warm caches reduce cold misses ({second} vs {first})"
+        );
+    }
+
+    #[test]
+    fn host_noise_inflates_counters() {
+        let s = sample(AppClass::Backdoor); // quiet workload
+        let run = |mut container: Container| {
+            let (cpu, mut stream) = container.launch(&s);
+            cpu.run(&mut stream, 20_000);
+            cpu.counters()[HpcEvent::L1DcacheLoads]
+        };
+        let clean = run(Container::isolated(CpuConfig::tiny()));
+        let noisy = run(Container::shared_host(CpuConfig::tiny(), 1.0));
+        assert!(
+            noisy > clean,
+            "host interleaving adds loads ({noisy} vs {clean})"
+        );
+    }
+
+    #[test]
+    fn noise_ratio_is_respected() {
+        let s = sample(AppClass::Virus);
+        let mut stream = ContainedStream::new(&s, 1.0);
+        // With ratio 1.0, half of a long run should be host work; we
+        // can't see provenance directly, but the accumulator alternates,
+        // so consecutive instructions must come from two streams —
+        // verify determinism at least.
+        let mut stream2 = ContainedStream::new(&s, 1.0);
+        for _ in 0..1_000 {
+            assert_eq!(stream.next_instruction(), stream2.next_instruction());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_panics() {
+        let _ = Container::shared_host(CpuConfig::tiny(), -0.5);
+    }
+}

@@ -1,0 +1,245 @@
+//! Dataset CSV interchange.
+//!
+//! The reference pipeline combined all per-sample trace files into one
+//! CSV with **17 columns: the 16 performance counters plus a class
+//! column**. This module writes and parses that exact layout, with an
+//! optional leading `sample` column so the sample-granularity train/test
+//! split can survive a round trip.
+
+use std::io::{BufRead, Write};
+
+use hbmd_events::{FeatureVector, HpcEvent};
+use hbmd_malware::{AppClass, SampleId};
+
+use crate::dataset::{DataRow, HpcDataset};
+use crate::error::PerfError;
+
+/// Write `dataset` as CSV. When `with_sample_ids` is set, a leading
+/// `sample` column records row provenance; otherwise the file has the
+/// paper's 17 columns.
+///
+/// A `&mut` writer can be passed.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`.
+pub fn write_csv<W: Write>(
+    mut out: W,
+    dataset: &HpcDataset,
+    with_sample_ids: bool,
+) -> Result<(), PerfError> {
+    let mut header = String::new();
+    if with_sample_ids {
+        header.push_str("sample,");
+    }
+    for event in HpcEvent::ALL {
+        header.push_str(event.name());
+        header.push(',');
+    }
+    header.push_str("class");
+    writeln!(out, "{header}")?;
+
+    for row in dataset.rows() {
+        let mut line = String::new();
+        if with_sample_ids {
+            line.push_str(&row.sample.0.to_string());
+            line.push(',');
+        }
+        for value in row.features.as_slice() {
+            line.push_str(&format!("{value:.4},"));
+        }
+        line.push_str(row.class.name());
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Parse a CSV previously produced by [`write_csv`] (either layout; the
+/// header decides). Without a `sample` column, each row is assigned a
+/// fresh sequential [`SampleId`].
+///
+/// A `&mut` reader can be passed.
+///
+/// # Errors
+///
+/// Returns [`PerfError::ParseCsv`] for a missing/wrong header, a row
+/// with the wrong column count, a non-numeric feature, or an unknown
+/// class name.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<HpcDataset, PerfError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = match lines.next() {
+        Some((i, line)) => (i, line?),
+        None => return Err(csv_err(1, "empty file")),
+    };
+    let columns: Vec<&str> = header.trim().split(',').collect();
+    let with_ids = columns.first() == Some(&"sample");
+    let feature_offset = usize::from(with_ids);
+    let expected = feature_offset + HpcEvent::COUNT + 1;
+    if columns.len() != expected {
+        return Err(csv_err(
+            1,
+            &format!("expected {expected} columns, found {}", columns.len()),
+        ));
+    }
+    for (i, event) in HpcEvent::ALL.iter().enumerate() {
+        if columns[feature_offset + i] != event.name() {
+            return Err(csv_err(
+                1,
+                &format!(
+                    "column {} should be `{}`, found `{}`",
+                    feature_offset + i,
+                    event.name(),
+                    columns[feature_offset + i]
+                ),
+            ));
+        }
+    }
+
+    let mut dataset = HpcDataset::new();
+    let mut next_id = 0u32;
+    for (index, line) in lines {
+        let line_no = index + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected {
+            return Err(csv_err(
+                line_no,
+                &format!("expected {expected} columns, found {}", fields.len()),
+            ));
+        }
+        let sample = if with_ids {
+            SampleId(
+                fields[0]
+                    .parse()
+                    .map_err(|_| csv_err(line_no, "bad sample id"))?,
+            )
+        } else {
+            let id = SampleId(next_id);
+            next_id += 1;
+            id
+        };
+        let mut values = Vec::with_capacity(HpcEvent::COUNT);
+        for field in &fields[feature_offset..feature_offset + HpcEvent::COUNT] {
+            values.push(
+                field
+                    .parse::<f64>()
+                    .map_err(|_| csv_err(line_no, &format!("bad feature value `{field}`")))?,
+            );
+        }
+        let class: AppClass = fields[expected - 1]
+            .parse()
+            .map_err(|_| csv_err(line_no, &format!("unknown class `{}`", fields[expected - 1])))?;
+        dataset.push(DataRow {
+            sample,
+            class,
+            features: FeatureVector::from_slice(&values).expect("16 values"),
+        });
+    }
+    Ok(dataset)
+}
+
+fn csv_err(line: usize, message: &str) -> PerfError {
+    PerfError::ParseCsv {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn toy() -> HpcDataset {
+        let mut dataset = HpcDataset::new();
+        for (i, class) in [AppClass::Benign, AppClass::Worm, AppClass::Trojan]
+            .iter()
+            .enumerate()
+        {
+            let values: Vec<f64> = (0..HpcEvent::COUNT).map(|j| (i * 20 + j) as f64).collect();
+            dataset.push(DataRow {
+                sample: SampleId(i as u32 + 100),
+                class: *class,
+                features: FeatureVector::from_slice(&values).expect("16"),
+            });
+        }
+        dataset
+    }
+
+    #[test]
+    fn round_trip_with_ids() {
+        let original = toy();
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &original, true).expect("write");
+        let parsed = read_csv(BufReader::new(buffer.as_slice())).expect("parse");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn round_trip_paper_layout() {
+        let original = toy();
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &original, false).expect("write");
+        let text = String::from_utf8(buffer.clone()).expect("utf8");
+        assert_eq!(
+            text.lines().next().unwrap().split(',').count(),
+            17,
+            "paper layout is 16 features + class"
+        );
+        let parsed = read_csv(BufReader::new(buffer.as_slice())).expect("parse");
+        assert_eq!(parsed.len(), original.len());
+        // Sample ids are synthesised sequentially.
+        assert_eq!(parsed.rows()[0].sample, SampleId(0));
+        assert_eq!(parsed.rows()[0].class, AppClass::Benign);
+    }
+
+    #[test]
+    fn wrong_column_count_is_an_error() {
+        let text = "branch-instructions,class\n1.0,benign\n";
+        let err = read_csv(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("columns"));
+    }
+
+    #[test]
+    fn wrong_header_name_is_an_error() {
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &toy(), false).expect("write");
+        let text = String::from_utf8(buffer)
+            .expect("utf8")
+            .replacen("branch-instructions", "branch-intructions", 1);
+        let err = read_csv(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("branch-intructions"));
+    }
+
+    #[test]
+    fn bad_value_and_bad_class_are_errors() {
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &toy(), false).expect("write");
+        let good = String::from_utf8(buffer).expect("utf8");
+
+        let bad_value = good.replacen("0.0000", "zero", 1);
+        assert!(read_csv(BufReader::new(bad_value.as_bytes())).is_err());
+
+        let bad_class = good.replacen("benign", "ransomware", 1);
+        assert!(read_csv(BufReader::new(bad_class.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(read_csv(BufReader::new("".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut buffer = Vec::new();
+        write_csv(&mut buffer, &toy(), true).expect("write");
+        let mut text = String::from_utf8(buffer).expect("utf8");
+        text.push('\n');
+        let parsed = read_csv(BufReader::new(text.as_bytes())).expect("parse");
+        assert_eq!(parsed.len(), 3);
+    }
+}

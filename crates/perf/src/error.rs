@@ -1,0 +1,91 @@
+use std::fmt;
+use std::io;
+
+/// Errors produced by the collection pipeline and the dataset
+/// interchange formats.
+#[derive(Debug)]
+pub enum PerfError {
+    /// Underlying I/O failure while reading or writing a trace/dataset.
+    Io(io::Error),
+    /// A CSV line did not match the expected schema.
+    ParseCsv {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// An ARFF construct could not be parsed.
+    ParseArff {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A perf-stat trace line could not be parsed.
+    ParseTrace {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A configuration value is unusable.
+    Config(String),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::Io(e) => write!(f, "i/o error: {e}"),
+            PerfError::ParseCsv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            PerfError::ParseArff { line, message } => {
+                write!(f, "arff parse error at line {line}: {message}")
+            }
+            PerfError::ParseTrace { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            PerfError::Config(message) => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PerfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PerfError {
+    fn from(e: io::Error) -> PerfError {
+        PerfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PerfError::ParseCsv {
+            line: 3,
+            message: "expected 17 columns, found 5".to_owned(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("line 3"));
+        assert!(text.contains("17 columns"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        use std::error::Error;
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = PerfError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

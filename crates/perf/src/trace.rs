@@ -1,0 +1,240 @@
+//! perf-stat-style interval traces.
+//!
+//! The reference pipeline stored each sample's HPC readings as a text
+//! file (one `perf stat -I 10` run per sample) before combining them
+//! into CSV. This module reproduces that interchange: a header line
+//! naming the sample and its class, then one line per `(interval,
+//! event)` pair:
+//!
+//! ```text
+//! # perf stat -I 10 -- sample-00042 (trojan)
+//!     10.000    123456.00    branch-instructions    (50.00%)
+//!     10.000       789.00    branch-misses          (50.00%)
+//!     ...
+//!     20.000    124001.00    branch-instructions    (50.00%)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use hbmd_events::{FeatureVector, HpcEvent};
+use hbmd_malware::AppClass;
+
+use crate::error::PerfError;
+
+/// A parsed per-sample trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// Sample name from the header (e.g. `sample-00042`).
+    pub sample_name: String,
+    /// Class from the header.
+    pub class: AppClass,
+    /// One feature vector per sampling interval, in time order.
+    pub windows: Vec<FeatureVector>,
+}
+
+/// The sampling period the reference setup used, in milliseconds.
+pub const SAMPLING_PERIOD_MS: f64 = 10.0;
+
+/// Write one sample's windows as a perf-stat-style trace.
+///
+/// A `&mut` writer can be passed (`write_trace(&mut file, ..)`).
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`.
+pub fn write_trace<W: Write>(
+    mut out: W,
+    sample_name: &str,
+    class: AppClass,
+    windows: &[FeatureVector],
+    multiplex_share: f64,
+) -> Result<(), PerfError> {
+    writeln!(out, "# perf stat -I 10 -- {sample_name} ({class})")?;
+    for (w, fv) in windows.iter().enumerate() {
+        let time_ms = (w as f64 + 1.0) * SAMPLING_PERIOD_MS;
+        for (event, value) in fv.iter() {
+            writeln!(
+                out,
+                "{:>12.3}  {:>16.2}  {:<24}  ({:.2}%)",
+                time_ms,
+                value,
+                event.name(),
+                multiplex_share * 100.0
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse a trace previously produced by [`write_trace`].
+///
+/// A `&mut` reader can be passed (`parse_trace(&mut reader)`).
+///
+/// # Errors
+///
+/// Returns [`PerfError::ParseTrace`] on a malformed header, an unknown
+/// event name, a non-numeric value, or an interval that does not cover
+/// all 16 events.
+pub fn parse_trace<R: BufRead>(reader: R) -> Result<TraceFile, PerfError> {
+    let mut lines = reader.lines().enumerate();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| trace_err(1, "empty trace"))?
+        .1?;
+    let header = header.trim();
+    let rest = header
+        .strip_prefix("# perf stat -I 10 -- ")
+        .ok_or_else(|| trace_err(1, "missing perf header"))?;
+    let (sample_name, class_part) = rest
+        .split_once(" (")
+        .ok_or_else(|| trace_err(1, "header missing class"))?;
+    let class_name = class_part
+        .strip_suffix(')')
+        .ok_or_else(|| trace_err(1, "unterminated class"))?;
+    let class: AppClass = class_name
+        .parse()
+        .map_err(|e| trace_err(1, &format!("{e}")))?;
+
+    let mut windows: Vec<FeatureVector> = Vec::new();
+    let mut current_time = f64::NEG_INFINITY;
+    let mut current = vec![0.0f64; HpcEvent::COUNT];
+    let mut seen = 0usize;
+
+    for (index, line) in lines {
+        let line_no = index + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let time: f64 = parts
+            .next()
+            .ok_or_else(|| trace_err(line_no, "missing time"))?
+            .parse()
+            .map_err(|_| trace_err(line_no, "bad time"))?;
+        let value: f64 = parts
+            .next()
+            .ok_or_else(|| trace_err(line_no, "missing value"))?
+            .parse()
+            .map_err(|_| trace_err(line_no, "bad value"))?;
+        let event_name = parts
+            .next()
+            .ok_or_else(|| trace_err(line_no, "missing event"))?;
+        let event: HpcEvent = event_name
+            .parse()
+            .map_err(|_| trace_err(line_no, &format!("unknown event `{event_name}`")))?;
+
+        if time != current_time {
+            if seen > 0 {
+                if seen != HpcEvent::COUNT {
+                    return Err(trace_err(
+                        line_no,
+                        &format!("interval covered {seen} of 16 events"),
+                    ));
+                }
+                windows.push(FeatureVector::from_slice(&current).expect("16 values"));
+            }
+            current_time = time;
+            current = vec![0.0; HpcEvent::COUNT];
+            seen = 0;
+        }
+        current[event.index()] = value;
+        seen += 1;
+    }
+    if seen > 0 {
+        if seen != HpcEvent::COUNT {
+            return Err(trace_err(0, &format!("final interval covered {seen} of 16 events")));
+        }
+        windows.push(FeatureVector::from_slice(&current).expect("16 values"));
+    }
+
+    Ok(TraceFile {
+        sample_name: sample_name.to_owned(),
+        class,
+        windows,
+    })
+}
+
+fn trace_err(line: usize, message: &str) -> PerfError {
+    PerfError::ParseTrace {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn windows() -> Vec<FeatureVector> {
+        (0..3)
+            .map(|w| {
+                let values: Vec<f64> = (0..HpcEvent::COUNT)
+                    .map(|i| (w * 100 + i) as f64 * 1.5)
+                    .collect();
+                FeatureVector::from_slice(&values).expect("16")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = windows();
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, "sample-00007", AppClass::Virus, &original, 0.5)
+            .expect("write");
+        let parsed = parse_trace(BufReader::new(buffer.as_slice())).expect("parse");
+        assert_eq!(parsed.sample_name, "sample-00007");
+        assert_eq!(parsed.class, AppClass::Virus);
+        assert_eq!(parsed.windows.len(), 3);
+        for (a, b) in parsed.windows.iter().zip(&original) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let text = "10.0 5 branch-instructions (100%)\n";
+        let err = parse_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn unknown_event_is_an_error() {
+        let text = "# perf stat -I 10 -- s (worm)\n10.0 5 quantum-flux (100%)\n";
+        let err = parse_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("quantum-flux"));
+    }
+
+    #[test]
+    fn short_interval_is_an_error() {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, "s", AppClass::Worm, &windows(), 1.0).expect("write");
+        let mut text = String::from_utf8(buffer).expect("utf8");
+        // Drop the last line of the final interval.
+        text = text.trim_end().rsplit_once('\n').map(|(a, _)| a.to_owned()).expect("lines");
+        let err = parse_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("of 16 events"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let err = parse_trace(BufReader::new("".as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("trace"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, "s", AppClass::Benign, &windows()[..1], 1.0).expect("write");
+        let mut text = String::from_utf8(buffer).expect("utf8");
+        text.push_str("\n# trailing comment\n\n");
+        let parsed = parse_trace(BufReader::new(text.as_bytes())).expect("parse");
+        assert_eq!(parsed.windows.len(), 1);
+    }
+}

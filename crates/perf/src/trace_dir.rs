@@ -1,0 +1,215 @@
+//! The on-disk collection layout of the reference pipeline: one
+//! perf-stat text file per sample in a directory, later combined into a
+//! single CSV.
+//!
+//! ```text
+//! traces/
+//! ├── sample-00000.perf.txt
+//! ├── sample-00001.perf.txt
+//! └── ...
+//! combined.csv   (17 columns: 16 counters + class)
+//! ```
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+use hbmd_malware::{SampleCatalog, SampleId};
+
+use crate::dataset::{DataRow, HpcDataset};
+use crate::error::PerfError;
+use crate::sampler::Sampler;
+use crate::trace::{parse_trace, write_trace};
+
+/// File extension of per-sample traces.
+pub const TRACE_EXTENSION: &str = "perf.txt";
+
+/// Collect `catalog` and write one perf-stat trace file per sample into
+/// `dir` (created if absent). Returns the paths written, in catalog
+/// order.
+///
+/// # Errors
+///
+/// Propagates I/O errors; the directory may be partially written on
+/// failure.
+pub fn write_sample_traces(
+    dir: &Path,
+    catalog: &SampleCatalog,
+    sampler: &Sampler,
+) -> Result<Vec<PathBuf>, PerfError> {
+    fs::create_dir_all(dir)?;
+    let multiplex_share = match &sampler.config().pmu {
+        Some(pmu) => 1.0 / pmu.groups() as f64,
+        None => 1.0,
+    };
+    let mut paths = Vec::with_capacity(catalog.len());
+    for sample in catalog.samples() {
+        let windows = sampler.collect_sample(sample);
+        let path = dir.join(format!("{}.{TRACE_EXTENSION}", sample.id()));
+        let file = File::create(&path)?;
+        write_trace(
+            BufWriter::new(file),
+            &sample.id().to_string(),
+            sample.class(),
+            &windows,
+            multiplex_share,
+        )?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Read every `*.perf.txt` trace in `dir` (sorted by file name) and
+/// combine them into one in-memory dataset — the "copy all text files
+/// into one CSV" step.
+///
+/// # Errors
+///
+/// Propagates I/O errors and [`PerfError::ParseTrace`] for malformed
+/// files; returns [`PerfError::Config`] when the directory holds no
+/// traces.
+pub fn combine_traces(dir: &Path) -> Result<HpcDataset, PerfError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.ends_with(TRACE_EXTENSION))
+                .unwrap_or(false)
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(PerfError::Config(format!(
+            "no .{TRACE_EXTENSION} traces in {}",
+            dir.display()
+        )));
+    }
+
+    let mut dataset = HpcDataset::new();
+    for path in paths {
+        let file = File::open(&path)?;
+        let trace = parse_trace(BufReader::new(file))?;
+        let sample = parse_sample_name(&trace.sample_name).unwrap_or(SampleId(u32::MAX));
+        for features in trace.windows {
+            dataset.push(DataRow {
+                sample,
+                class: trace.class,
+                features,
+            });
+        }
+    }
+    Ok(dataset)
+}
+
+/// Collect a catalog via the trace directory round trip: write every
+/// per-sample file, then combine them — byte-for-byte the reference
+/// pipeline's flow, useful for verifying the direct in-memory path.
+///
+/// # Errors
+///
+/// As [`write_sample_traces`] and [`combine_traces`].
+pub fn collect_via_directory(
+    dir: &Path,
+    catalog: &SampleCatalog,
+    sampler: &Sampler,
+) -> Result<HpcDataset, PerfError> {
+    write_sample_traces(dir, catalog, sampler)?;
+    combine_traces(dir)
+}
+
+fn parse_sample_name(name: &str) -> Option<SampleId> {
+    name.strip_prefix("sample-")
+        .and_then(|digits| digits.parse().ok())
+        .map(SampleId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::SamplerConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A private scratch directory per test, cleaned up on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(label: &str) -> Scratch {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!(
+                "hbmd-trace-dir-{label}-{}-{unique}",
+                std::process::id()
+            ));
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn small_catalog() -> SampleCatalog {
+        SampleCatalog::scaled(0.005, 77)
+    }
+
+    #[test]
+    fn directory_round_trip_matches_direct_collection() {
+        let scratch = Scratch::new("roundtrip");
+        let catalog = small_catalog();
+        let sampler = Sampler::new(SamplerConfig::fast()).expect("sampler");
+
+        let via_disk =
+            collect_via_directory(&scratch.0, &catalog, &sampler).expect("directory flow");
+
+        // Direct in-memory collection of the same catalog.
+        let direct: HpcDataset = catalog
+            .samples()
+            .iter()
+            .flat_map(|s| {
+                sampler.collect_sample(s).into_iter().map(move |features| DataRow {
+                    sample: s.id(),
+                    class: s.class(),
+                    features,
+                })
+            })
+            .collect();
+
+        assert_eq!(via_disk.len(), direct.len());
+        for (a, b) in via_disk.rows().iter().zip(direct.rows()) {
+            assert_eq!(a.sample, b.sample);
+            assert_eq!(a.class, b.class);
+            for (x, y) in a.features.as_slice().iter().zip(b.features.as_slice()) {
+                assert!((x - y).abs() < 1e-2, "trace rounding is 2 decimals");
+            }
+        }
+    }
+
+    #[test]
+    fn one_file_per_sample_is_written() {
+        let scratch = Scratch::new("files");
+        let catalog = small_catalog();
+        let sampler = Sampler::new(SamplerConfig::fast()).expect("sampler");
+        let paths = write_sample_traces(&scratch.0, &catalog, &sampler).expect("write");
+        assert_eq!(paths.len(), catalog.len());
+        for path in &paths {
+            assert!(path.exists());
+        }
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let scratch = Scratch::new("empty");
+        fs::create_dir_all(&scratch.0).expect("mkdir");
+        let err = combine_traces(&scratch.0).unwrap_err();
+        assert!(err.to_string().contains("no ."), "{err}");
+    }
+
+    #[test]
+    fn sample_names_round_trip_to_ids() {
+        assert_eq!(parse_sample_name("sample-00042"), Some(SampleId(42)));
+        assert_eq!(parse_sample_name("not-a-sample"), None);
+    }
+}

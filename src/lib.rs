@@ -1,0 +1,42 @@
+//! `hbmd` — hardware-based malware detection, end to end.
+//!
+//! The facade crate of the suite: re-exports every subsystem so
+//! downstream users depend on one crate.
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`events`] | `hbmd-events` | HPC event taxonomy and counter sets |
+//! | [`uarch`] | `hbmd-uarch` | Haswell-shaped microarchitecture simulator |
+//! | [`malware`] | `hbmd-malware` | behavioural malware/benign sample substrate |
+//! | [`perf`] | `hbmd-perf` | PMU multiplexing, sampling, containers, CSV/ARFF |
+//! | [`ml`] | `hbmd-ml` | WEKA-like classifiers, PCA, evaluation |
+//! | [`fpga`] | `hbmd-fpga` | HLS-like area/latency/power cost model |
+//! | [`core`] | `hbmd-core` | detector pipeline and experiment presets |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hbmd::core::{ClassifierKind, DetectorBuilder, FeatureSet};
+//! use hbmd::malware::SampleCatalog;
+//! use hbmd::perf::{Collector, CollectorConfig};
+//!
+//! // 1. Generate a labelled sample database (Table 1, shrunk).
+//! let catalog = SampleCatalog::scaled(0.02, 7);
+//! // 2. Run every sample in its container and collect HPC windows.
+//! let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+//! // 3. Train a detector with PCA-reduced features and evaluate 70/30.
+//! let detector = DetectorBuilder::new()
+//!     .classifier(ClassifierKind::JRip)
+//!     .feature_set(FeatureSet::Top(8))
+//!     .train_binary(&dataset)?;
+//! println!("accuracy: {:.1}%", detector.evaluation().accuracy() * 100.0);
+//! # Ok::<(), hbmd::core::CoreError>(())
+//! ```
+
+pub use hbmd_core as core;
+pub use hbmd_events as events;
+pub use hbmd_fpga as fpga;
+pub use hbmd_malware as malware;
+pub use hbmd_ml as ml;
+pub use hbmd_perf as perf;
+pub use hbmd_uarch as uarch;

@@ -1,0 +1,67 @@
+//! Reproducibility guarantees: the entire pipeline is a pure function
+//! of its seeds — the property every experiment in EXPERIMENTS.md
+//! relies on.
+
+use hbmd::core::{ClassifierKind, DetectorBuilder, FeaturePlan};
+use hbmd::malware::SampleCatalog;
+use hbmd::perf::{Collector, CollectorConfig};
+
+#[test]
+fn collection_is_a_pure_function_of_seeds() {
+    let run = || {
+        let catalog = SampleCatalog::scaled(0.02, 123);
+        Collector::new(CollectorConfig::fast()).collect(&catalog)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_catalog_seeds_give_different_data() {
+    let collect = |seed| {
+        let catalog = SampleCatalog::scaled(0.02, seed);
+        Collector::new(CollectorConfig::fast()).collect(&catalog)
+    };
+    assert_ne!(collect(1), collect(2));
+}
+
+#[test]
+fn feature_plans_are_stable() {
+    let catalog = SampleCatalog::scaled(0.02, 7);
+    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let a = FeaturePlan::fit(&dataset).expect("plan");
+    let b = FeaturePlan::fit(&dataset).expect("plan");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trained_detectors_agree_across_runs() {
+    let catalog = SampleCatalog::scaled(0.03, 55);
+    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let train = || {
+        DetectorBuilder::new()
+            .classifier(ClassifierKind::Mlp)
+            .seed(9)
+            .train_binary(&dataset)
+            .expect("train")
+    };
+    let a = train();
+    let b = train();
+    assert_eq!(
+        a.evaluation().accuracy(),
+        b.evaluation().accuracy(),
+        "identical training runs, identical evaluations"
+    );
+    for row in dataset.rows().iter().take(50) {
+        assert_eq!(a.classify(&row.features), b.classify(&row.features));
+    }
+}
+
+#[test]
+fn split_seed_changes_the_split_not_the_schema() {
+    let catalog = SampleCatalog::scaled(0.02, 7);
+    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let (train_a, test_a) = dataset.split(0.7, 1);
+    let (train_b, test_b) = dataset.split(0.7, 2);
+    assert_eq!(train_a.len() + test_a.len(), train_b.len() + test_b.len());
+    assert_ne!(train_a, train_b);
+}

@@ -1,0 +1,148 @@
+//! End-to-end integration: catalog → containerised collection →
+//! interchange formats → detector → hardware report → online monitor,
+//! all through the public facade.
+
+use std::io::BufReader;
+
+use hbmd::core::{
+    ClassifierKind, DetectorBuilder, FeatureSet, OnlineDetector, OnlineVerdict, Verdict,
+};
+use hbmd::fpga::SynthConfig;
+use hbmd::malware::{AppClass, Sample, SampleCatalog, SampleId};
+use hbmd::perf::{arff, csv, trace, Collector, CollectorConfig, Sampler, SamplerConfig};
+
+#[test]
+fn full_pipeline_from_catalog_to_silicon() {
+    // 1. Database.
+    let catalog = SampleCatalog::scaled(0.03, 99);
+    assert!(catalog.len() > 50);
+
+    // 2. Collection.
+    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    assert_eq!(
+        dataset.len(),
+        catalog.len() * 4,
+        "4 windows per sample in the fast sampler"
+    );
+
+    // 3. Detector with PCA-reduced features.
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::J48)
+        .feature_set(FeatureSet::Top(8))
+        .train_binary(&dataset)
+        .expect("train");
+    assert!(detector.evaluation().accuracy() > 0.7);
+
+    // 4. Hardware synthesis of the trained model.
+    let report = detector.synthesize(&SynthConfig::default()).expect("synth");
+    assert!(report.area_units() > 0.0);
+    assert!(report.latency_cycles >= 1);
+
+    // 5. The detector classifies raw windows.
+    let malware_window = dataset
+        .rows()
+        .iter()
+        .find(|r| r.class == AppClass::Worm)
+        .expect("worm rows exist");
+    let verdicts: Vec<Verdict> = (0..4)
+        .map(|_| detector.classify(&malware_window.features))
+        .collect();
+    assert!(verdicts.iter().all(|v| *v == verdicts[0]), "deterministic");
+}
+
+#[test]
+fn interchange_formats_round_trip_a_real_collection() {
+    let catalog = SampleCatalog::scaled(0.01, 5);
+    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+
+    // CSV with provenance.
+    let mut buffer = Vec::new();
+    csv::write_csv(&mut buffer, &dataset, true).expect("write csv");
+    let parsed = csv::read_csv(BufReader::new(buffer.as_slice())).expect("read csv");
+    assert_eq!(parsed.len(), dataset.len());
+    for (a, b) in parsed.rows().iter().zip(dataset.rows()) {
+        assert_eq!(a.sample, b.sample);
+        assert_eq!(a.class, b.class);
+        for (x, y) in a.features.as_slice().iter().zip(b.features.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "csv rounding is 4 decimals");
+        }
+    }
+
+    // ARFF (WEKA) without provenance.
+    let mut buffer = Vec::new();
+    arff::write_arff(&mut buffer, "hbmd", &dataset).expect("write arff");
+    let parsed = arff::read_arff(BufReader::new(buffer.as_slice())).expect("read arff");
+    assert_eq!(parsed.len(), dataset.len());
+
+    // Numeric-class ARFF variant for the classifiers that need 0/1.
+    let mut buffer = Vec::new();
+    arff::write_arff_numeric_class(&mut buffer, "hbmd", &dataset).expect("write arff");
+    let text = String::from_utf8(buffer).expect("utf8");
+    assert!(text.contains("@attribute class numeric"));
+}
+
+#[test]
+fn perf_stat_traces_round_trip_per_sample() {
+    let sampler = Sampler::new(SamplerConfig::fast()).expect("sampler");
+    let sample = Sample::generate(SampleId(3), AppClass::Rootkit, 13);
+    let windows = sampler.collect_sample(&sample);
+
+    let mut buffer = Vec::new();
+    trace::write_trace(
+        &mut buffer,
+        &sample.id().to_string(),
+        sample.class(),
+        &windows,
+        0.5,
+    )
+    .expect("write trace");
+    let parsed = trace::parse_trace(BufReader::new(buffer.as_slice())).expect("parse trace");
+    assert_eq!(parsed.class, AppClass::Rootkit);
+    assert_eq!(parsed.windows.len(), windows.len());
+}
+
+#[test]
+fn online_monitor_rides_on_a_trained_detector() {
+    let catalog = SampleCatalog::scaled(0.03, 101);
+    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::J48)
+        .train_binary(&dataset)
+        .expect("train");
+    let mut monitor = OnlineDetector::new(detector, 4, 3);
+
+    let sampler = Sampler::new(SamplerConfig {
+        windows_per_sample: 16,
+        ..SamplerConfig::fast()
+    })
+    .expect("sampler");
+    let worm = Sample::generate(SampleId(7_000), AppClass::Worm, 55);
+    let alarms = sampler
+        .collect_sample(&worm)
+        .iter()
+        .filter(|w| matches!(monitor.observe(w), OnlineVerdict::Alarm { .. }))
+        .count();
+    assert!(alarms > 0, "a worm must eventually trip the monitor");
+}
+
+#[test]
+fn multiclass_detector_names_families() {
+    let catalog = SampleCatalog::scaled(0.04, 33);
+    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::Mlp)
+        .train_multiclass(&dataset)
+        .expect("train");
+    // Per-class recall vector covers all six classes.
+    assert_eq!(detector.evaluation().per_class_recall().len(), 6);
+    // Family verdicts carry the family.
+    let worm_row = dataset
+        .rows()
+        .iter()
+        .find(|r| r.class == AppClass::Worm)
+        .expect("worm rows");
+    match detector.classify(&worm_row.features) {
+        Verdict::Malware(family) => assert!(family.is_malware()),
+        Verdict::Benign => {} // an individual window may read benign
+    }
+}

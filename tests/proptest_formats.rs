@@ -1,0 +1,120 @@
+//! Property-based tests on the interchange formats: arbitrary datasets
+//! must survive CSV, ARFF, and perf-stat trace round trips.
+
+use std::io::BufReader;
+
+use hbmd::events::{FeatureVector, HpcEvent};
+use hbmd::malware::{AppClass, SampleId};
+use hbmd::perf::{arff, csv, trace, DataRow, HpcDataset};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = AppClass> {
+    prop::sample::select(AppClass::ALL.to_vec())
+}
+
+fn arb_row() -> impl Strategy<Value = DataRow> {
+    (
+        0u32..10_000,
+        arb_class(),
+        prop::collection::vec(0.0f64..1e7, HpcEvent::COUNT),
+    )
+        .prop_map(|(id, class, values)| {
+            // Round to the CSV's 4-decimal precision so round trips are
+            // exact.
+            let values: Vec<f64> = values.iter().map(|v| (v * 1e4).round() / 1e4).collect();
+            DataRow {
+                sample: SampleId(id),
+                class,
+                features: FeatureVector::from_slice(&values).expect("16 values"),
+            }
+        })
+}
+
+fn arb_dataset() -> impl Strategy<Value = HpcDataset> {
+    prop::collection::vec(arb_row(), 1..40).prop_map(|mut rows| {
+        // Sample ids identify one specimen with one class: make ids
+        // unique so generated datasets satisfy the pipeline invariant.
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.sample = SampleId(i as u32);
+        }
+        HpcDataset::from_rows(rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csv_round_trips_exactly(dataset in arb_dataset()) {
+        let mut buffer = Vec::new();
+        csv::write_csv(&mut buffer, &dataset, true).expect("write");
+        let parsed = csv::read_csv(BufReader::new(buffer.as_slice())).expect("parse");
+        prop_assert_eq!(parsed, dataset);
+    }
+
+    #[test]
+    fn paper_layout_csv_preserves_rows_and_classes(dataset in arb_dataset()) {
+        let mut buffer = Vec::new();
+        csv::write_csv(&mut buffer, &dataset, false).expect("write");
+        let parsed = csv::read_csv(BufReader::new(buffer.as_slice())).expect("parse");
+        prop_assert_eq!(parsed.len(), dataset.len());
+        for (a, b) in parsed.rows().iter().zip(dataset.rows()) {
+            prop_assert_eq!(a.class, b.class);
+            prop_assert_eq!(a.features.as_slice(), b.features.as_slice());
+        }
+    }
+
+    #[test]
+    fn arff_round_trips_values_and_classes(dataset in arb_dataset()) {
+        let mut buffer = Vec::new();
+        arff::write_arff(&mut buffer, "prop", &dataset).expect("write");
+        let parsed = arff::read_arff(BufReader::new(buffer.as_slice())).expect("parse");
+        prop_assert_eq!(parsed.len(), dataset.len());
+        for (a, b) in parsed.rows().iter().zip(dataset.rows()) {
+            prop_assert_eq!(a.class, b.class);
+            prop_assert_eq!(a.features.as_slice(), b.features.as_slice());
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_windows(
+        class in arb_class(),
+        windows in prop::collection::vec(
+            prop::collection::vec(0.0f64..1e7, HpcEvent::COUNT),
+            1..10,
+        ),
+    ) {
+        let windows: Vec<FeatureVector> = windows
+            .into_iter()
+            .map(|values| {
+                let values: Vec<f64> =
+                    values.iter().map(|v| (v * 100.0).round() / 100.0).collect();
+                FeatureVector::from_slice(&values).expect("16 values")
+            })
+            .collect();
+        let mut buffer = Vec::new();
+        trace::write_trace(&mut buffer, "sample-00001", class, &windows, 0.5)
+            .expect("write");
+        let parsed = trace::parse_trace(BufReader::new(buffer.as_slice())).expect("parse");
+        prop_assert_eq!(parsed.class, class);
+        prop_assert_eq!(parsed.windows.len(), windows.len());
+        for (a, b) in parsed.windows.iter().zip(&windows) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn split_never_leaks_samples(dataset in arb_dataset(), seed in 0u64..100) {
+        // Guard: need at least 2 distinct classes for a meaningful split;
+        // the split itself must still partition cleanly regardless.
+        let (train, test) = dataset.split(0.7, seed);
+        prop_assert_eq!(train.len() + test.len(), dataset.len());
+        let train_ids: std::collections::BTreeSet<SampleId> =
+            train.rows().iter().map(|r| r.sample).collect();
+        for row in test.rows() {
+            prop_assert!(!train_ids.contains(&row.sample));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests on the suite's core invariants, spanning the
+//! counter algebra, the cache model, dataset handling, PCA, and the
+//! classifier contract.
+
+use hbmd::events::{CounterSet, FeatureVector, HpcEvent};
+use hbmd::ml::{Classifier, Dataset, J48, Mlr, OneR, Pca};
+use hbmd::uarch::{Cache, CacheConfig, Cpu, CpuConfig, StreamParams, SyntheticStream};
+use proptest::prelude::*;
+
+fn arb_counts() -> impl Strategy<Value = [u64; HpcEvent::COUNT]> {
+    prop::array::uniform16(0u64..1_000_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counter_delta_then_merge_is_identity(a in arb_counts(), b in arb_counts()) {
+        let base = CounterSet::from_array(a);
+        let grown = base.merged(&CounterSet::from_array(b));
+        // grown - base == b, and base + (grown - base) == grown.
+        let delta = grown.delta(&base);
+        prop_assert_eq!(delta, CounterSet::from_array(b));
+        prop_assert_eq!(base.merged(&delta), grown);
+    }
+
+    #[test]
+    fn counter_delta_never_underflows(a in arb_counts(), b in arb_counts()) {
+        let x = CounterSet::from_array(a);
+        let y = CounterSet::from_array(b);
+        let d = x.delta(&y);
+        for event in HpcEvent::ALL {
+            prop_assert!(d[event] <= x[event].max(y[event]));
+        }
+    }
+
+    #[test]
+    fn feature_vector_projection_is_consistent(a in arb_counts()) {
+        let counts = CounterSet::from_array(a);
+        let fv = FeatureVector::from_counts(&counts);
+        let all: Vec<HpcEvent> = HpcEvent::ALL.to_vec();
+        let projected = fv.project(&all);
+        prop_assert_eq!(projected.as_slice(), fv.as_slice());
+    }
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(addrs in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            associativity: 2,
+            line_bytes: 64,
+        });
+        for &addr in &addrs {
+            cache.access(addr, addr % 3 == 0);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        // Repeating the same address immediately always hits.
+        cache.access(addrs[0], false);
+        let hits_before = cache.hits();
+        cache.access(addrs[0], false);
+        prop_assert_eq!(cache.hits(), hits_before + 1);
+    }
+
+    #[test]
+    fn simulator_instruction_count_is_exact(budget in 1u64..20_000) {
+        let mut cpu = Cpu::new(CpuConfig::tiny());
+        let mut stream = SyntheticStream::new(StreamParams::balanced(), 5);
+        cpu.run(&mut stream, budget);
+        prop_assert_eq!(cpu.stats().instructions, budget);
+        prop_assert!(cpu.stats().cycles >= budget / 2, "IPC is bounded by width");
+    }
+
+    #[test]
+    fn dataset_split_partitions(rows in 10usize..200, fraction in 0.1f64..0.9) {
+        let mut data = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
+        for i in 0..rows {
+            data.push(vec![i as f64], i % 2).expect("row");
+        }
+        let (train, test) = data.split(fraction, 7);
+        prop_assert_eq!(train.len() + test.len(), rows);
+        prop_assert!(!train.is_empty() || !test.is_empty());
+    }
+
+    #[test]
+    fn pca_transform_width_matches_k(k in 1usize..5) {
+        let mut data = Dataset::new(
+            (0..5).map(|i| format!("f{i}")).collect(),
+            vec!["a".into(), "b".into()],
+        ).expect("schema");
+        for i in 0..40 {
+            let row: Vec<f64> = (0..5).map(|j| ((i * (j + 1)) % 13) as f64).collect();
+            data.push(row, i % 2).expect("row");
+        }
+        let pca = Pca::fit(&data).expect("fit");
+        let projected = pca.transform(&data, k);
+        prop_assert_eq!(projected.num_features(), k.min(5));
+        prop_assert_eq!(projected.len(), data.len());
+        // Variance ratios are a distribution.
+        let total: f64 = pca.explained_variance_ratio().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classifiers_always_predict_a_valid_label(
+        threshold in 5usize..45,
+        probe in -100.0f64..200.0,
+    ) {
+        let mut data = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
+        for i in 0..50 {
+            data.push(vec![i as f64], usize::from(i >= threshold)).expect("row");
+        }
+        let mut one_r = OneR::new();
+        one_r.fit(&data).expect("fit");
+        prop_assert!(one_r.predict(&[probe]) < 2);
+
+        let mut tree = J48::new();
+        tree.fit(&data).expect("fit");
+        prop_assert!(tree.predict(&[probe]) < 2);
+
+        let mut mlr = Mlr::with_schedule(30, 0.5);
+        mlr.fit(&data).expect("fit");
+        prop_assert!(mlr.predict(&[probe]) < 2);
+    }
+
+    #[test]
+    fn stream_params_jitter_never_invalidates(seed in 0u64..5_000) {
+        use hbmd::malware::{AppClass, BehaviorProfile};
+        for class in AppClass::ALL {
+            let specimen = BehaviorProfile::archetype(class).specimen(seed);
+            for phase in specimen.phases() {
+                prop_assert!(phase.params.validate().is_ok());
+            }
+        }
+    }
+}
