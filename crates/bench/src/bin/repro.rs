@@ -9,6 +9,7 @@
 //!   fig13 fig14 fig15 fig16 fig17 fig18 fig19
 //!   ablate-ensemble ablate-mux ablate-noise ablate-features
 //!   ablate-mlp ablate-prefetch
+//!   roc detect-latency robustness emit-hdl
 //!   all
 //! ```
 //!
@@ -19,7 +20,9 @@
 use std::process::ExitCode;
 
 use hbmd_bench::{config_at_scale, pct, TextTable};
-use hbmd_core::experiments::{self, binary, ensemble, hardware, latency, multiclass, pca, roc, ExperimentConfig};
+use hbmd_core::experiments::{
+    self, binary, ensemble, hardware, latency, multiclass, pca, robustness, roc, ExperimentConfig,
+};
 use hbmd_core::{to_binary_dataset, ClassifierKind, FeaturePlan, FeatureSet};
 use hbmd_fpga::SynthConfig;
 use hbmd_malware::AppClass;
@@ -54,10 +57,30 @@ fn main() -> ExitCode {
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "fig6", "fig8", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablate-ensemble",
-            "ablate-mux", "ablate-noise", "ablate-features", "ablate-mlp", "ablate-prefetch",
-            "roc", "detect-latency",
+            "table1",
+            "fig6",
+            "fig8",
+            "table2",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "ablate-ensemble",
+            "ablate-mux",
+            "ablate-noise",
+            "ablate-features",
+            "ablate-mlp",
+            "ablate-prefetch",
+            "roc",
+            "detect-latency",
+            "robustness",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -89,7 +112,7 @@ fn print_usage() {
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
-         \x20            roc detect-latency emit-hdl all"
+         \x20            roc detect-latency robustness emit-hdl all"
     );
 }
 
@@ -110,6 +133,7 @@ fn run(experiment: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::e
         "ablate-ensemble" => ablate_ensemble(config)?,
         "roc" => roc_analysis(config)?,
         "detect-latency" => detect_latency(config)?,
+        "robustness" => robustness_sweep(config)?,
         "emit-hdl" => emit_hdl(config)?,
         "ablate-prefetch" => ablate_prefetch(config)?,
         "ablate-mux" => ablate_mux(config)?,
@@ -136,7 +160,12 @@ fn table1(config: &ExperimentConfig) {
             row.dataset_rows.to_string(),
         ]);
     }
-    table.row(vec!["total".to_owned(), total.to_string(), String::new(), String::new()]);
+    table.row(vec![
+        "total".to_owned(),
+        total.to_string(),
+        String::new(),
+        String::new(),
+    ]);
     print!("{}", table.render());
 }
 
@@ -172,7 +201,13 @@ fn fig8(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
         "components for 95% variance: {} of 16",
         summary.components_for_95
     );
-    let mut table = TextTable::new(vec!["rank", "attribute", "score", "eigenvalue", "explained"]);
+    let mut table = TextTable::new(vec![
+        "rank",
+        "attribute",
+        "score",
+        "eigenvalue",
+        "explained",
+    ]);
     for (i, (name, score)) in summary.ranking.iter().enumerate() {
         table.row(vec![
             (i + 1).to_string(),
@@ -216,9 +251,17 @@ fn scatter(
             _ => '*',
         };
     }
-    let malware_mean: f64 = points.iter().filter(|p| p.malware).map(|p| p.pc1).sum::<f64>()
+    let malware_mean: f64 = points
+        .iter()
+        .filter(|p| p.malware)
+        .map(|p| p.pc1)
+        .sum::<f64>()
         / points.iter().filter(|p| p.malware).count().max(1) as f64;
-    let benign_mean: f64 = points.iter().filter(|p| !p.malware).map(|p| p.pc1).sum::<f64>()
+    let benign_mean: f64 = points
+        .iter()
+        .filter(|p| !p.malware)
+        .map(|p| p.pc1)
+        .sum::<f64>()
         / points.iter().filter(|p| !p.malware).count().max(1) as f64;
     for line in grid {
         println!("|{}|", line.into_iter().collect::<String>());
@@ -236,7 +279,13 @@ fn fig13(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Figure 13: binary accuracy, 16 vs PCA top-8 vs top-4 features");
     println!("paper: most classifiers dip slightly at 4 features; J48/OneR barely move");
     let rows = binary::accuracy_comparison(config)?;
-    let mut table = TextTable::new(vec!["classifier", "16 features", "8 features", "4 features", "8->4 cost"]);
+    let mut table = TextTable::new(vec![
+        "classifier",
+        "16 features",
+        "8 features",
+        "4 features",
+        "8->4 cost",
+    ]);
     for row in &rows {
         table.row(vec![
             row.scheme.to_string(),
@@ -358,8 +407,14 @@ fn fig19(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
     println!("paper: custom per-class 8-feature sets gain ~7pp over non-custom features");
     let result = multiclass::pca_assisted_comparison(config)?;
     let mut table = TextTable::new(vec!["variant", "accuracy"]);
-    table.row(vec!["MLR, all 16 features (context)".to_owned(), pct(result.plain_full_accuracy)]);
-    table.row(vec!["normal MLR, generic top-8".to_owned(), pct(result.plain_accuracy)]);
+    table.row(vec![
+        "MLR, all 16 features (context)".to_owned(),
+        pct(result.plain_full_accuracy),
+    ]);
+    table.row(vec![
+        "normal MLR, generic top-8".to_owned(),
+        pct(result.plain_accuracy),
+    ]);
     table.row(vec![
         "PCA-assisted MLR, custom-8 per class".to_owned(),
         pct(result.assisted_accuracy),
@@ -412,16 +467,50 @@ fn detect_latency(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::E
     Ok(())
 }
 
+fn robustness_sweep(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Extension: graceful degradation under collection faults");
+    println!("(detectors trained clean, evaluated through a fault-injected pipeline)");
+    let schemes = [
+        ClassifierKind::J48,
+        ClassifierKind::JRip,
+        ClassifierKind::Logistic,
+        ClassifierKind::NaiveBayes,
+    ];
+    let rates = [0.0, 0.02, 0.05, 0.1, 0.2];
+    let rows = robustness::degradation_sweep(config, &schemes, &rates)?;
+    let mut table = TextTable::new(vec![
+        "fault rate",
+        "classifier",
+        "accuracy (decided)",
+        "abstained",
+        "windows",
+        "quarantined",
+        "retries",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            pct(row.fault_rate),
+            row.scheme.to_string(),
+            if row.accuracy.is_nan() {
+                "-".to_owned()
+            } else {
+                pct(row.accuracy)
+            },
+            pct(row.abstain_rate),
+            row.windows.to_string(),
+            row.quarantined.to_string(),
+            row.retries.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
 fn roc_analysis(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Extension: ROC analysis of the score-producing detectors");
     println!("(a deployed monitor is tuned to a false-positive budget, not peak accuracy)");
     let rows = roc::comparison(config)?;
-    let mut table = TextTable::new(vec![
-        "scheme",
-        "AUC",
-        "TPR @ 1% FPR",
-        "TPR @ 5% FPR",
-    ]);
+    let mut table = TextTable::new(vec!["scheme", "AUC", "TPR @ 1% FPR", "TPR @ 5% FPR"]);
     for row in &rows {
         table.row(vec![
             row.scheme.clone(),
@@ -454,7 +543,13 @@ fn ablate_ensemble(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
     println!("## Extension: ensemble learning (RAID'15 / DAC'18 follow-ups)");
     println!("(single learners vs boosting, bagging and random forests, top-8 features)");
     let rows = ensemble::comparison(config)?;
-    let mut table = TextTable::new(vec!["scheme", "accuracy", "area", "latency cyc", "acc/area"]);
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "accuracy",
+        "area",
+        "latency cyc",
+        "acc/area",
+    ]);
     for row in &rows {
         table.row(vec![
             row.scheme.to_string(),
@@ -473,8 +568,14 @@ fn ablate_prefetch(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
     println!("(prefetching shifts traffic from demand misses to prefetch references)");
     let mut table = TextTable::new(vec!["cpu model", "J48 accuracy", "Logistic accuracy"]);
     for (label, cpu) in [
-        ("no prefetcher (paper model)", hbmd_uarch::CpuConfig::haswell()),
-        ("next-line L1D prefetcher", hbmd_uarch::CpuConfig::haswell_prefetch()),
+        (
+            "no prefetcher (paper model)",
+            hbmd_uarch::CpuConfig::haswell(),
+        ),
+        (
+            "next-line L1D prefetcher",
+            hbmd_uarch::CpuConfig::haswell_prefetch(),
+        ),
     ] {
         let mut variant = config.clone();
         variant.collector.sampler.cpu = cpu;
@@ -499,8 +600,14 @@ fn ablate_mux(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error
     println!("(design note: counter scaling noise is part of the measured signal)");
     let variants: [(&str, Option<PmuConfig>); 3] = [
         ("exact counting (no PMU sharing)", None),
-        ("16 events on 8 counters (paper)", Some(PmuConfig::haswell_collected())),
-        ("52 events on 8 counters (full catalog)", Some(PmuConfig::haswell_full())),
+        (
+            "16 events on 8 counters (paper)",
+            Some(PmuConfig::haswell_collected()),
+        ),
+        (
+            "52 events on 8 counters (full catalog)",
+            Some(PmuConfig::haswell_full()),
+        ),
     ];
     let mut table = TextTable::new(vec!["pmu mode", "J48 accuracy", "Logistic accuracy"]);
     for (label, pmu) in variants {
@@ -551,7 +658,12 @@ fn ablate_features(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
     let plan = FeaturePlan::fit(&train_hpc)?;
     let train_full = to_binary_dataset(&train_hpc);
     let test_full = to_binary_dataset(&test_hpc);
-    let mut table = TextTable::new(vec!["features", "J48 accuracy", "Logistic accuracy", "Logistic area"]);
+    let mut table = TextTable::new(vec![
+        "features",
+        "J48 accuracy",
+        "Logistic accuracy",
+        "Logistic area",
+    ]);
     for k in [2usize, 4, 8, 12, 16] {
         let indices = plan.resolve(FeatureSet::Top(k))?;
         let train = train_full.select_features(&indices)?;
@@ -560,8 +672,8 @@ fn ablate_features(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
         j48.fit(&train)?;
         let mut logistic = ClassifierKind::Logistic.instantiate();
         logistic.fit(&train)?;
-        let area = hbmd_fpga::synthesize(&logistic.datapath()?, &SynthConfig::default())
-            .area_units();
+        let area =
+            hbmd_fpga::synthesize(&logistic.datapath()?, &SynthConfig::default()).area_units();
         table.row(vec![
             k.to_string(),
             pct(Evaluation::of(&j48, &test).accuracy()),

@@ -37,9 +37,7 @@ impl BinaryAccuracyRow {
 /// # Errors
 ///
 /// Propagates collection, feature-plan, and training errors.
-pub fn accuracy_comparison(
-    config: &ExperimentConfig,
-) -> Result<Vec<BinaryAccuracyRow>, CoreError> {
+pub fn accuracy_comparison(config: &ExperimentConfig) -> Result<Vec<BinaryAccuracyRow>, CoreError> {
     let dataset = config.collect();
     let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
@@ -49,13 +47,9 @@ pub fn accuracy_comparison(
     let mut rows = Vec::new();
     for scheme in ClassifierKind::binary_suite() {
         let mut accuracies = [0.0f64; 3];
-        for (slot, set) in [
-            FeatureSet::Full16,
-            FeatureSet::Top(8),
-            FeatureSet::Top(4),
-        ]
-        .into_iter()
-        .enumerate()
+        for (slot, set) in [FeatureSet::Full16, FeatureSet::Top(8), FeatureSet::Top(4)]
+            .into_iter()
+            .enumerate()
         {
             let indices = plan.resolve(set)?;
             let train = train_full.select_features(&indices)?;

@@ -95,7 +95,10 @@ mod tests {
     fn ensembles_do_not_lose_to_their_base_learners() {
         let rows = comparison(&ExperimentConfig::fast()).expect("experiment");
         let accuracy = |kind: ClassifierKind| {
-            rows.iter().find(|r| r.scheme == kind).expect("row").accuracy
+            rows.iter()
+                .find(|r| r.scheme == kind)
+                .expect("row")
+                .accuracy
         };
         // Boosted stumps at least match a single stump. Bagging is
         // allowed a wider small-sample slack: at the fast test scale a
@@ -103,8 +106,7 @@ mod tests {
         // member, which a 10-member vote cannot fully recover (the gap
         // closes at the repro scales recorded in EXPERIMENTS.md).
         assert!(
-            accuracy(ClassifierKind::AdaBoost)
-                >= accuracy(ClassifierKind::DecisionStump) - 0.03
+            accuracy(ClassifierKind::AdaBoost) >= accuracy(ClassifierKind::DecisionStump) - 0.03
         );
         assert!(accuracy(ClassifierKind::Bagging) >= accuracy(ClassifierKind::J48) - 0.10);
     }
@@ -113,7 +115,10 @@ mod tests {
     fn ensembles_cost_more_silicon() {
         let rows = comparison(&ExperimentConfig::fast()).expect("experiment");
         let area = |kind: ClassifierKind| {
-            rows.iter().find(|r| r.scheme == kind).expect("row").area_units
+            rows.iter()
+                .find(|r| r.scheme == kind)
+                .expect("row")
+                .area_units
         };
         assert!(area(ClassifierKind::AdaBoost) > area(ClassifierKind::DecisionStump));
         assert!(area(ClassifierKind::RandomForest) > area(ClassifierKind::J48));

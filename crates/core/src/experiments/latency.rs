@@ -118,8 +118,7 @@ mod tests {
 
     #[test]
     fn most_families_trip_the_alarm_quickly() {
-        let rows =
-            windows_to_alarm(&ExperimentConfig::fast(), 4, 16).expect("experiment");
+        let rows = windows_to_alarm(&ExperimentConfig::fast(), 4, 16).expect("experiment");
         assert_eq!(rows.len(), 5);
         let total_detected: usize = rows.iter().map(|r| r.detected).sum();
         let total_observed: usize = rows.iter().map(|r| r.observed).sum();

@@ -20,6 +20,7 @@
 //! | ensemble extension | [`ensemble::comparison`] |
 //! | ROC extension | [`roc::comparison`] |
 //! | detection-latency extension | [`latency::windows_to_alarm`] |
+//! | robustness extension | [`robustness::degradation_sweep`] |
 
 pub mod binary;
 pub mod ensemble;
@@ -27,6 +28,7 @@ pub mod hardware;
 pub mod latency;
 pub mod multiclass;
 pub mod pca;
+pub mod robustness;
 pub mod roc;
 
 use hbmd_malware::{AppClass, SampleCatalog};

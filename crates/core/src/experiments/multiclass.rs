@@ -28,9 +28,7 @@ pub struct MulticlassRow {
 /// # Errors
 ///
 /// Propagates collection and training errors.
-pub fn accuracy_comparison(
-    config: &ExperimentConfig,
-) -> Result<Vec<MulticlassRow>, CoreError> {
+pub fn accuracy_comparison(config: &ExperimentConfig) -> Result<Vec<MulticlassRow>, CoreError> {
     let dataset = config.collect();
     let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
     let train = to_multiclass_dataset(&train_hpc);
@@ -216,9 +214,7 @@ impl Classifier for PcaAssistedMlr {
 /// # Errors
 ///
 /// Propagates collection, feature-plan, and training errors.
-pub fn pca_assisted_comparison(
-    config: &ExperimentConfig,
-) -> Result<PcaAssistedResult, CoreError> {
+pub fn pca_assisted_comparison(config: &ExperimentConfig) -> Result<PcaAssistedResult, CoreError> {
     let dataset = config.collect();
     let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;

@@ -99,10 +99,7 @@ pub struct ScatterPoint {
 ///
 /// Returns [`CoreError::Config`] for `AppClass::Benign` and propagates
 /// collection/PCA errors.
-pub fn scatter(
-    config: &ExperimentConfig,
-    class: AppClass,
-) -> Result<Vec<ScatterPoint>, CoreError> {
+pub fn scatter(config: &ExperimentConfig, class: AppClass) -> Result<Vec<ScatterPoint>, CoreError> {
     if !class.is_malware() {
         return Err(CoreError::Config(
             "scatter plots compare a malware class against benign".to_owned(),

@@ -45,7 +45,11 @@ pub fn comparison(config: &ExperimentConfig) -> Result<Vec<RocRow>, CoreError> {
 
     let mut mlr = Mlr::new();
     mlr.fit(&train)?;
-    let scores: Vec<f64> = test.rows().iter().map(|r| mlr.predict_proba(r)[1]).collect();
+    let scores: Vec<f64> = test
+        .rows()
+        .iter()
+        .map(|r| mlr.predict_proba(r)[1])
+        .collect();
     rows.push(row("Logistic", &scores, &labels)?);
 
     let mut svm = LinearSvm::new();

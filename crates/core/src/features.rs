@@ -177,9 +177,7 @@ impl FeaturePlan {
             FeatureSet::Full16 => Ok((0..HpcEvent::COUNT).collect()),
             FeatureSet::Top(k) => {
                 if k == 0 || k > HpcEvent::COUNT {
-                    return Err(CoreError::Config(format!(
-                        "Top({k}) is outside 1..=16"
-                    )));
+                    return Err(CoreError::Config(format!("Top({k}) is outside 1..=16")));
                 }
                 Ok(self.global_ranking.iter().take(k).copied().collect())
             }
@@ -212,7 +210,6 @@ impl FeaturePlan {
             .collect()
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -249,7 +246,9 @@ mod tests {
         assert_eq!(plan.resolve(FeatureSet::Common4).expect("common").len(), 4);
         for class in AppClass::MALWARE {
             assert_eq!(
-                plan.resolve(FeatureSet::Custom8(class)).expect("custom").len(),
+                plan.resolve(FeatureSet::Custom8(class))
+                    .expect("custom")
+                    .len(),
                 8,
                 "{class}"
             );

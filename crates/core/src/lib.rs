@@ -14,7 +14,11 @@
 //! * [`Detector`] / [`DetectorBuilder`] — end-to-end training of a
 //!   binary (benign/malware) or multiclass (family) detector,
 //! * [`OnlineDetector`] — sliding-window majority voting over per-10ms
-//!   verdicts for run-time monitoring,
+//!   verdicts for run-time monitoring, with abstention on corrupted
+//!   windows and optional alarm hysteresis,
+//! * [`Sanitizer`] — training-statistics screening of incoming windows
+//!   (median imputation of repairable corruption, abstention on
+//!   garbage) for graceful degradation under collection faults,
 //! * [`experiments`] — one preset per table/figure of the evaluation
 //!   (accuracy sweeps, hardware cost comparisons, PCA-assisted
 //!   multiclass), shared by the `repro` binary and the benches.
@@ -44,6 +48,7 @@ mod detector;
 mod error;
 mod features;
 mod online;
+mod sanitize;
 mod suite;
 mod voting;
 
@@ -52,5 +57,6 @@ pub use detector::{Detector, DetectorBuilder, DetectorMode, Verdict};
 pub use error::CoreError;
 pub use features::{FeaturePlan, FeatureSet};
 pub use online::{OnlineDetector, OnlineVerdict};
+pub use sanitize::{SanitizeOutcome, Sanitizer};
 pub use suite::{ClassifierKind, TrainedModel};
 pub use voting::VotingDetector;

@@ -1,0 +1,264 @@
+//! Window sanitisation: the detector's first line of defence against a
+//! degraded collection pipeline.
+//!
+//! A faulted counter stream hands the classifier NaNs (multiplexing
+//! starvation), absurd magnitudes (saturated counters), and negative
+//! garbage — inputs the trained models were never shown and on which
+//! their verdicts are meaningless. The [`Sanitizer`] is fitted on the
+//! training split and screens every incoming window:
+//!
+//! * values that are non-finite, negative, or far beyond the training
+//!   range are *invalid*,
+//! * a window with few invalid values is **repaired** by median
+//!   imputation (the training median of each bad column),
+//! * a window that is mostly garbage is **unusable** — the detector
+//!   [abstains](crate::Verdict::Abstain) instead of guessing.
+
+use hbmd_events::{FeatureVector, HpcEvent};
+use hbmd_perf::HpcDataset;
+use serde::{Deserialize, Serialize};
+
+/// Slack factor over the training maximum before a value counts as
+/// out-of-range: legitimate unseen workloads run somewhat hotter than
+/// the training set, saturated counters run *orders of magnitude*
+/// hotter.
+const RANGE_SLACK: f64 = 8.0;
+
+/// What screening one window produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SanitizeOutcome {
+    /// Every value was plausible; the window is untouched.
+    Clean(FeatureVector),
+    /// Some values were corrupt and have been imputed from training
+    /// medians.
+    Repaired {
+        /// The window with corrupt columns replaced.
+        features: FeatureVector,
+        /// How many columns were imputed.
+        repaired: usize,
+    },
+    /// Too much of the window was corrupt to trust a repair.
+    Unusable {
+        /// How many columns were invalid.
+        invalid: usize,
+    },
+}
+
+impl SanitizeOutcome {
+    /// The usable window, if any.
+    pub fn features(&self) -> Option<&FeatureVector> {
+        match self {
+            SanitizeOutcome::Clean(features) | SanitizeOutcome::Repaired { features, .. } => {
+                Some(features)
+            }
+            SanitizeOutcome::Unusable { .. } => None,
+        }
+    }
+}
+
+/// Screens sampling windows against statistics of the training split;
+/// see the [module docs](self) for the policy.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_core::{SanitizeOutcome, Sanitizer};
+/// use hbmd_malware::SampleCatalog;
+/// use hbmd_perf::{Collector, CollectorConfig};
+///
+/// let catalog = SampleCatalog::scaled(0.02, 3);
+/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let sanitizer = Sanitizer::fit(&dataset);
+///
+/// let clean = &dataset.rows()[0].features;
+/// assert!(matches!(sanitizer.sanitize(clean), SanitizeOutcome::Clean(_)));
+///
+/// let mut corrupt = clean.clone();
+/// corrupt[hbmd_events::HpcEvent::CacheMisses] = f64::NAN;
+/// assert!(matches!(
+///     sanitizer.sanitize(&corrupt),
+///     SanitizeOutcome::Repaired { repaired: 1, .. }
+/// ));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sanitizer {
+    /// Per-column training median (imputation value).
+    medians: Vec<f64>,
+    /// Per-column ceiling: training max × [`RANGE_SLACK`]; infinite for
+    /// columns with no finite training data.
+    ceilings: Vec<f64>,
+    /// Invalid columns tolerated before the window is unusable.
+    max_repair: usize,
+}
+
+impl Sanitizer {
+    /// Fit medians and ceilings per feature column on `dataset`
+    /// (normally the training split). Never panics: an empty dataset
+    /// yields a sanitizer that accepts any finite non-negative window.
+    pub fn fit(dataset: &HpcDataset) -> Sanitizer {
+        let mut medians = Vec::with_capacity(HpcEvent::COUNT);
+        let mut ceilings = Vec::with_capacity(HpcEvent::COUNT);
+        for j in 0..HpcEvent::COUNT {
+            let mut finite: Vec<f64> = dataset
+                .rows()
+                .iter()
+                .map(|r| r.features.as_slice()[j])
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .collect();
+            if finite.is_empty() {
+                medians.push(0.0);
+                ceilings.push(f64::INFINITY);
+                continue;
+            }
+            finite.sort_by(|a, b| a.total_cmp(b));
+            let mid = finite.len() / 2;
+            let median = if finite.len() % 2 == 1 {
+                finite[mid]
+            } else {
+                (finite[mid - 1] + finite[mid]) / 2.0
+            };
+            medians.push(median);
+            ceilings.push(finite[finite.len() - 1] * RANGE_SLACK);
+        }
+        Sanitizer {
+            medians,
+            ceilings,
+            max_repair: HpcEvent::COUNT / 4,
+        }
+    }
+
+    /// Override how many invalid columns a repair may impute (default:
+    /// a quarter of the feature vector — a window needing more than
+    /// that is mostly synthetic after imputation, and an imputed
+    /// majority would let the medians, not the workload, cast the
+    /// vote). Windows with more become [`SanitizeOutcome::Unusable`].
+    pub fn with_max_repair(mut self, max_repair: usize) -> Sanitizer {
+        self.max_repair = max_repair.min(HpcEvent::COUNT);
+        self
+    }
+
+    /// The per-column imputation medians.
+    pub fn medians(&self) -> &[f64] {
+        &self.medians
+    }
+
+    /// Screen one window. Never panics, whatever the input holds.
+    pub fn sanitize(&self, window: &FeatureVector) -> SanitizeOutcome {
+        let values = window.as_slice();
+        let invalid: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| !self.is_valid(j, v))
+            .map(|(j, _)| j)
+            .collect();
+        if invalid.is_empty() {
+            return SanitizeOutcome::Clean(window.clone());
+        }
+        if invalid.len() > self.max_repair {
+            return SanitizeOutcome::Unusable {
+                invalid: invalid.len(),
+            };
+        }
+        let mut repaired = values.to_vec();
+        for &j in &invalid {
+            repaired[j] = self.medians[j];
+        }
+        SanitizeOutcome::Repaired {
+            features: FeatureVector::from_slice(&repaired).expect("same width"),
+            repaired: invalid.len(),
+        }
+    }
+
+    fn is_valid(&self, column: usize, value: f64) -> bool {
+        value.is_finite() && value >= 0.0 && value <= self.ceilings[column]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbmd_malware::SampleCatalog;
+    use hbmd_perf::{Collector, CollectorConfig};
+
+    fn fitted() -> (HpcDataset, Sanitizer) {
+        let catalog = SampleCatalog::scaled(0.02, 5);
+        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let sanitizer = Sanitizer::fit(&dataset);
+        (dataset, sanitizer)
+    }
+
+    #[test]
+    fn training_windows_pass_clean() {
+        let (dataset, sanitizer) = fitted();
+        for row in dataset.rows() {
+            assert!(matches!(
+                sanitizer.sanitize(&row.features),
+                SanitizeOutcome::Clean(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn light_corruption_is_repaired_with_medians() {
+        let (dataset, sanitizer) = fitted();
+        let mut window = dataset.rows()[0].features.clone();
+        window[HpcEvent::BranchInstructions] = f64::NAN;
+        window[HpcEvent::BranchMisses] = -4.0;
+        match sanitizer.sanitize(&window) {
+            SanitizeOutcome::Repaired { features, repaired } => {
+                assert_eq!(repaired, 2);
+                let j = HpcEvent::BranchInstructions.index();
+                assert_eq!(features.as_slice()[j], sanitizer.medians()[j]);
+                assert!(features.as_slice().iter().all(|v| v.is_finite()));
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturated_counters_are_out_of_range() {
+        let (dataset, sanitizer) = fitted();
+        let mut window = dataset.rows()[0].features.clone();
+        window[HpcEvent::CacheReferences] = hbmd_perf::SATURATION_CEILING;
+        assert!(matches!(
+            sanitizer.sanitize(&window),
+            SanitizeOutcome::Repaired { repaired: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn garbage_windows_are_unusable() {
+        let (_, sanitizer) = fitted();
+        let values = vec![f64::NAN; HpcEvent::COUNT];
+        let window = FeatureVector::from_slice(&values).expect("16");
+        match sanitizer.sanitize(&window) {
+            SanitizeOutcome::Unusable { invalid } => {
+                assert_eq!(invalid, HpcEvent::COUNT);
+            }
+            other => panic!("expected unusable, got {other:?}"),
+        }
+        assert!(sanitizer.sanitize(&window).features().is_none());
+    }
+
+    #[test]
+    fn empty_fit_accepts_any_finite_window() {
+        let sanitizer = Sanitizer::fit(&HpcDataset::default());
+        let window = FeatureVector::from_slice(&[1e12; HpcEvent::COUNT]).expect("16");
+        assert!(matches!(
+            sanitizer.sanitize(&window),
+            SanitizeOutcome::Clean(_)
+        ));
+    }
+
+    #[test]
+    fn max_repair_override_tightens_the_policy() {
+        let (dataset, sanitizer) = fitted();
+        let sanitizer = sanitizer.with_max_repair(0);
+        let mut window = dataset.rows()[0].features.clone();
+        window[HpcEvent::BranchInstructions] = f64::NAN;
+        assert!(matches!(
+            sanitizer.sanitize(&window),
+            SanitizeOutcome::Unusable { invalid: 1 }
+        ));
+    }
+}

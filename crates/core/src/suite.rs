@@ -2,8 +2,8 @@ use std::fmt;
 
 use hbmd_fpga::{DatapathError, DatapathSpec, Stage, ToDatapath};
 use hbmd_ml::{
-    AdaBoostM1, Bagging, Classifier, Dataset, DecisionStump, Ibk, J48, JRip, LinearSvm, MlError,
-    Mlp, Mlr, NaiveBayes, OneR, RandomForest, RepTree, ZeroR,
+    AdaBoostM1, Bagging, Classifier, Dataset, DecisionStump, Ibk, JRip, LinearSvm, MlError, Mlp,
+    Mlr, NaiveBayes, OneR, RandomForest, RepTree, ZeroR, J48,
 };
 use serde::{Deserialize, Serialize};
 
@@ -262,8 +262,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..60 {
             d.push(vec![i as f64], usize::from(i >= 30)).expect("row");
         }
@@ -311,7 +310,10 @@ mod tests {
             assert!(spec.latency_cycles() >= 1, "{kind}");
         }
         // ZeroR synthesises even untrained structure-wise.
-        let spec = ClassifierKind::ZeroR.instantiate().datapath().expect("zero-r");
+        let spec = ClassifierKind::ZeroR
+            .instantiate()
+            .datapath()
+            .expect("zero-r");
         assert_eq!(spec.scheme, "ZeroR");
     }
 

@@ -74,7 +74,9 @@ impl CounterSet {
 
     /// Sum of all event counts (saturating).
     pub fn total(&self) -> u64 {
-        self.counts.iter().fold(0u64, |acc, &c| acc.saturating_add(c))
+        self.counts
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// `true` when every count is zero.

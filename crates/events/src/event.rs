@@ -153,9 +153,7 @@ impl FromStr for HpcEvent {
             .iter()
             .copied()
             .find(|event| event.name() == s)
-            .ok_or_else(|| ParseEventError {
-                name: s.to_owned(),
-            })
+            .ok_or_else(|| ParseEventError { name: s.to_owned() })
     }
 }
 

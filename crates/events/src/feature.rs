@@ -1,5 +1,5 @@
 use std::fmt;
-use std::ops::Index;
+use std::ops::{Index, IndexMut};
 
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +95,12 @@ impl Index<HpcEvent> for FeatureVector {
     }
 }
 
+impl IndexMut<HpcEvent> for FeatureVector {
+    fn index_mut(&mut self, event: HpcEvent) -> &mut f64 {
+        &mut self.values[event.index()]
+    }
+}
+
 impl fmt::Display for FeatureVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, (event, value)) in self.iter().enumerate() {
@@ -125,13 +131,8 @@ mod tests {
         let mut c = CounterSet::new();
         c[HpcEvent::LlcLoads] = 10;
         c[HpcEvent::NodeLoads] = 10;
-        let fv = FeatureVector::from_scaled(&c, |e| {
-            if e == HpcEvent::LlcLoads {
-                1.5
-            } else {
-                1.0
-            }
-        });
+        let fv =
+            FeatureVector::from_scaled(&c, |e| if e == HpcEvent::LlcLoads { 1.5 } else { 1.0 });
         assert_eq!(fv[HpcEvent::LlcLoads], 15.0);
         assert_eq!(fv[HpcEvent::NodeLoads], 10.0);
     }

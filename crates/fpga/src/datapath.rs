@@ -1,6 +1,6 @@
 use std::fmt;
 
-use hbmd_ml::{Ibk, J48, JRip, LinearSvm, Mlp, Mlr, NaiveBayes, OneR, RepTree};
+use hbmd_ml::{Ibk, JRip, LinearSvm, Mlp, Mlr, NaiveBayes, OneR, RepTree, J48};
 use serde::{Deserialize, Serialize};
 
 /// Error produced when a datapath cannot be derived.
@@ -105,7 +105,9 @@ pub trait ToDatapath {
 
 /// Adder-tree depth for summing `n` terms.
 fn adder_tree_depth(n: u64) -> u64 {
-    (64 - n.max(1).leading_zeros() as u64).saturating_sub(1).max(1)
+    (64 - n.max(1).leading_zeros() as u64)
+        .saturating_sub(1)
+        .max(1)
 }
 
 /// Adder-tree node count for summing `n` terms.
@@ -462,17 +464,11 @@ mod tests {
     use hbmd_ml::{Classifier, Dataset};
 
     fn trained_suite() -> (Dataset, Vec<(String, DatapathSpec)>) {
-        let mut data = Dataset::new(
-            vec!["x".into(), "y".into()],
-            vec!["a".into(), "b".into()],
-        )
-        .expect("schema");
+        let mut data = Dataset::new(vec!["x".into(), "y".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
         for i in 0..80 {
-            data.push(
-                vec![i as f64, (i % 7) as f64],
-                usize::from(i >= 40),
-            )
-            .expect("row");
+            data.push(vec![i as f64, (i % 7) as f64], usize::from(i >= 40))
+                .expect("row");
         }
         let mut specs = Vec::new();
         macro_rules! add {
@@ -528,10 +524,10 @@ mod tests {
     #[test]
     fn mlp_out_muscles_linear_models() {
         let (_, specs) = trained_suite();
-        let get = |scheme: &str| {
-            &specs.iter().find(|(s, _)| s == scheme).expect("present").1
-        };
-        assert!(get("MultilayerPerceptron").total_multipliers() > get("Logistic").total_multipliers());
+        let get = |scheme: &str| &specs.iter().find(|(s, _)| s == scheme).expect("present").1;
+        assert!(
+            get("MultilayerPerceptron").total_multipliers() > get("Logistic").total_multipliers()
+        );
     }
 
     #[test]
@@ -543,9 +539,7 @@ mod tests {
 
         let mut big_data = data.clone();
         for i in 0..800 {
-            big_data
-                .push(vec![i as f64, 0.0], i % 2)
-                .expect("row");
+            big_data.push(vec![i as f64, 0.0], i % 2).expect("row");
         }
         let mut big = Ibk::new(3);
         big.fit(&big_data).expect("fit");

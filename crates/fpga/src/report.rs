@@ -21,7 +21,9 @@ impl ResourceEstimate {
     /// resources weighted by their approximate relative silicon cost
     /// (1 LUT = 1, 1 FF = 0.5, 1 DSP48 = 100, 1 BRAM18 = 150).
     pub fn area_units(&self) -> f64 {
-        self.luts as f64 + self.ffs as f64 * 0.5 + self.dsps as f64 * 100.0
+        self.luts as f64
+            + self.ffs as f64 * 0.5
+            + self.dsps as f64 * 100.0
             + self.brams as f64 * 150.0
     }
 }

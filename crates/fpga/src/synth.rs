@@ -113,8 +113,16 @@ pub fn synthesize(spec: &DatapathSpec, config: &SynthConfig) -> HwReport {
     for stage in &spec.stages {
         // Folding time-multiplexes arithmetic operators, shrinking the
         // instance counts and stretching the stage's schedule.
-        let multipliers = stage.multipliers.div_ceil(fold).min(stage.multipliers).max(u64::from(stage.multipliers > 0));
-        let adders = stage.adders.div_ceil(fold).min(stage.adders).max(u64::from(stage.adders > 0));
+        let multipliers = stage
+            .multipliers
+            .div_ceil(fold)
+            .min(stage.multipliers)
+            .max(u64::from(stage.multipliers > 0));
+        let adders = stage
+            .adders
+            .div_ceil(fold)
+            .min(stage.adders)
+            .max(u64::from(stage.adders > 0));
         resources.dsps += multipliers;
         resources.luts += (adders as f64 * w as f64 * config.luts_per_adder_bit) as u64;
         resources.luts +=
@@ -133,8 +141,7 @@ pub fn synthesize(spec: &DatapathSpec, config: &SynthConfig) -> HwReport {
         } else {
             1
         };
-        latency_cycles +=
-            stage.latency_cycles.max(1) * stage.iterations.max(1) * stage_fold;
+        latency_cycles += stage.latency_cycles.max(1) * stage.iterations.max(1) * stage_fold;
     }
     // Input feature registers.
     resources.ffs += spec.inputs as u64 * w;
@@ -182,7 +189,10 @@ mod tests {
     fn report_for<C: Classifier + ToDatapath>(mut model: C) -> HwReport {
         let d = data();
         model.fit(&d).expect("fit");
-        synthesize(&model.datapath().expect("datapath"), &SynthConfig::default())
+        synthesize(
+            &model.datapath().expect("datapath"),
+            &SynthConfig::default(),
+        )
     }
 
     #[test]
@@ -305,11 +315,9 @@ mod tests {
 
         // Untrained ensembles refuse synthesis.
         assert!(hbmd_ml::RandomForest::new(3).datapath().is_err());
-        assert!(
-            hbmd_ml::AdaBoostM1::new(hbmd_ml::DecisionStump::new(), 3)
-                .datapath()
-                .is_err()
-        );
+        assert!(hbmd_ml::AdaBoostM1::new(hbmd_ml::DecisionStump::new(), 3)
+            .datapath()
+            .is_err());
     }
 
     #[test]

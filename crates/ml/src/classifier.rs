@@ -55,8 +55,8 @@ mod tests {
 
     #[test]
     fn default_batch_prediction_delegates() {
-        let mut data = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut data =
+            Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()]).expect("schema");
         data.push(vec![0.0], 1).expect("row");
         data.push(vec![1.0], 1).expect("row");
         data.push(vec![2.0], 0).expect("row");

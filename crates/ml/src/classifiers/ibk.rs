@@ -119,11 +119,8 @@ mod tests {
     use super::*;
 
     fn clusters() -> Dataset {
-        let mut d = Dataset::new(
-            vec!["x".into(), "y".into()],
-            vec!["a".into(), "b".into()],
-        )
-        .expect("schema");
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
         for i in 0..20 {
             let wiggle = (i % 5) as f64 * 0.1;
             d.push(vec![wiggle, wiggle], 0).expect("row");

@@ -157,9 +157,8 @@ impl J48 {
                 let left = self.prune(*left, data, &left_idx);
                 let right = self.prune(*right, data, &right_idx);
 
-                let subtree_estimate =
-                    pessimistic_errors_of(&left, self.confidence_z)
-                        + pessimistic_errors_of(&right, self.confidence_z);
+                let subtree_estimate = pessimistic_errors_of(&left, self.confidence_z)
+                    + pessimistic_errors_of(&right, self.confidence_z);
 
                 let counts = histogram(data, indices);
                 let class = majority(data, indices);
@@ -195,9 +194,8 @@ fn pessimistic_errors(errors: usize, total: usize, z: f64) -> f64 {
     let n = total as f64;
     let f = errors as f64 / n;
     let z2 = z * z;
-    let upper = (f + z2 / (2.0 * n)
-        + z * (f * (1.0 - f) / n + z2 / (4.0 * n * n)).sqrt())
-        / (1.0 + z2 / n);
+    let upper =
+        (f + z2 / (2.0 * n) + z * (f * (1.0 - f) / n + z2 / (4.0 * n * n)).sqrt()) / (1.0 + z2 / n);
     upper * n
 }
 
@@ -311,8 +309,7 @@ mod tests {
     fn pruning_shrinks_noisy_trees() {
         // Pure noise labels: an unpruned tree memorises, a pruned tree
         // should collapse (or at least be no larger).
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..60 {
             d.push(vec![i as f64], (i * 7 + 3) % 2).expect("row");
         }
@@ -356,11 +353,8 @@ mod tests {
 
     #[test]
     fn multiclass_works() {
-        let mut d = Dataset::new(
-            vec!["x".into()],
-            vec!["a".into(), "b".into(), "c".into()],
-        )
-        .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into(), "c".into()])
+            .expect("schema");
         for i in 0..30 {
             d.push(vec![i as f64], i / 10).expect("row");
         }

@@ -100,7 +100,10 @@ impl JRip {
 
     /// The learned ordered rule list (empty before fit).
     pub fn rules(&self) -> &[Rule] {
-        self.model.as_ref().map(|m| m.rules.as_slice()).unwrap_or(&[])
+        self.model
+            .as_ref()
+            .map(|m| m.rules.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of rules (0 before fit).
@@ -115,7 +118,12 @@ impl JRip {
 
     /// Candidate thresholds for `feature` over the instances at
     /// `indices`: midpoints of evenly-spaced order statistics.
-    fn candidate_thresholds(data: &Dataset, indices: &[usize], feature: usize, k: usize) -> Vec<f64> {
+    fn candidate_thresholds(
+        data: &Dataset,
+        indices: &[usize],
+        feature: usize,
+        k: usize,
+    ) -> Vec<f64> {
         let mut values: Vec<f64> = indices.iter().map(|&i| data.rows()[i][feature]).collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         values.dedup();
@@ -258,9 +266,8 @@ impl Classifier for JRip {
         let counts = data.class_counts();
         // Rarest class first; the most frequent present class is the
         // default and gets no rules.
-        let mut class_order: Vec<usize> = (0..data.num_classes())
-            .filter(|&c| counts[c] > 0)
-            .collect();
+        let mut class_order: Vec<usize> =
+            (0..data.num_classes()).filter(|&c| counts[c] > 0).collect();
         class_order.sort_by_key(|&c| counts[c]);
         let default_class = *class_order.last().expect("at least one class present");
 
@@ -308,7 +315,10 @@ impl Classifier for JRip {
     }
 
     fn predict(&self, features: &[f64]) -> usize {
-        let model = self.model.as_ref().expect("JRip::predict called before fit");
+        let model = self
+            .model
+            .as_ref()
+            .expect("JRip::predict called before fit");
         for rule in &model.rules {
             if rule.covers(features) {
                 return rule.class;
@@ -385,8 +395,7 @@ mod tests {
 
     #[test]
     fn pure_noise_learns_almost_nothing() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..100u64 {
             // Hash-scrambled labels with no threshold structure.
             let label = ((i.wrapping_mul(2654435761) >> 13) & 1) as usize;

@@ -187,8 +187,8 @@ mod tests {
 
     #[test]
     fn binary_boundary_is_learned() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()])
-            .expect("schema");
+        let mut d =
+            Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()]).expect("schema");
         for i in 0..60 {
             d.push(vec![i as f64], usize::from(i >= 30)).expect("row");
         }
@@ -203,11 +203,8 @@ mod tests {
 
     #[test]
     fn three_class_bands_are_learned() {
-        let mut d = Dataset::new(
-            vec!["x".into()],
-            vec!["a".into(), "b".into(), "c".into()],
-        )
-        .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into(), "c".into()])
+            .expect("schema");
         for i in 0..90 {
             d.push(vec![i as f64], i / 30).expect("row");
         }
@@ -227,11 +224,8 @@ mod tests {
         )
         .expect("schema");
         for i in 0..80 {
-            d.push(
-                vec![(i % 4) as f64, i as f64],
-                usize::from(i >= 40),
-            )
-            .expect("row");
+            d.push(vec![(i % 4) as f64, i as f64], usize::from(i >= 40))
+                .expect("row");
         }
         let mut mlr = Mlr::new();
         mlr.fit(&d).expect("fit");

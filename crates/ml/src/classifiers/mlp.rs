@@ -96,13 +96,9 @@ impl Mlp {
 
     /// `[inputs, hidden, outputs]` of the fitted network.
     pub fn layer_sizes(&self) -> Option<[usize; 3]> {
-        self.model.as_ref().map(|m| {
-            [
-                m.w1[0].len() - 1,
-                m.w1.len(),
-                m.w2.len(),
-            ]
-        })
+        self.model
+            .as_ref()
+            .map(|m| [m.w1[0].len() - 1, m.w1.len(), m.w2.len()])
     }
 
     fn forward(model: &MlpModel, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
@@ -199,14 +195,12 @@ impl Classifier for Mlp {
                 let (h, p) = forward_pass(&w1, &w2, x);
 
                 // Output deltas (softmax + cross-entropy).
-                let delta_out: Vec<f64> = (0..classes)
-                    .map(|c| p[c] - f64::from(c == label))
-                    .collect();
+                let delta_out: Vec<f64> =
+                    (0..classes).map(|c| p[c] - f64::from(c == label)).collect();
                 // Hidden deltas.
                 let delta_hidden: Vec<f64> = (0..hidden)
                     .map(|j| {
-                        let upstream: f64 =
-                            (0..classes).map(|c| delta_out[c] * w2[c][j]).sum();
+                        let upstream: f64 = (0..classes).map(|c| delta_out[c] * w2[c][j]).sum();
                         upstream * h[j] * (1.0 - h[j])
                     })
                     .collect();
@@ -262,8 +256,8 @@ mod tests {
 
     #[test]
     fn learns_a_linear_boundary() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()])
-            .expect("schema");
+        let mut d =
+            Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()]).expect("schema");
         for i in 0..60 {
             d.push(vec![i as f64], usize::from(i >= 30)).expect("row");
         }
@@ -302,7 +296,8 @@ mod tests {
         )
         .expect("schema");
         for i in 0..30 {
-            d.push(vec![i as f64; 6], usize::from(i >= 15)).expect("row");
+            d.push(vec![i as f64; 6], usize::from(i >= 15))
+                .expect("row");
         }
         let mut mlp = Mlp::new();
         mlp.fit(&d).expect("fit");
@@ -311,15 +306,16 @@ mod tests {
 
     #[test]
     fn training_is_deterministic_per_seed() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..40 {
             d.push(vec![i as f64], usize::from(i >= 20)).expect("row");
         }
         let predict_all = |seed: u64| {
             let mut mlp = Mlp::new().with_seed(seed);
             mlp.fit(&d).expect("fit");
-            (0..40).map(|i| mlp.predict(&[i as f64])).collect::<Vec<_>>()
+            (0..40)
+                .map(|i| mlp.predict(&[i as f64]))
+                .collect::<Vec<_>>()
         };
         assert_eq!(predict_all(5), predict_all(5));
     }

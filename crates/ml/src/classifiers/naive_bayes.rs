@@ -134,11 +134,8 @@ mod tests {
 
     #[test]
     fn separates_shifted_gaussians() {
-        let mut d = Dataset::new(
-            vec!["x".into(), "y".into()],
-            vec!["a".into(), "b".into()],
-        )
-        .expect("schema");
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
         for i in 0..50 {
             let wiggle = (i % 5) as f64 * 0.3;
             d.push(vec![wiggle, 1.0 + wiggle], 0).expect("row");
@@ -155,8 +152,8 @@ mod tests {
     fn priors_break_ties() {
         // Identical feature distributions, skewed priors: predict the
         // frequent class.
-        let mut d = Dataset::new(vec!["x".into()], vec!["rare".into(), "common".into()])
-            .expect("schema");
+        let mut d =
+            Dataset::new(vec!["x".into()], vec!["rare".into(), "common".into()]).expect("schema");
         for i in 0..4 {
             d.push(vec![(i % 3) as f64], 0).expect("row");
         }
@@ -176,7 +173,8 @@ mod tests {
         )
         .expect("schema");
         for i in 0..20 {
-            d.push(vec![7.0, i as f64], usize::from(i >= 10)).expect("row");
+            d.push(vec![7.0, i as f64], usize::from(i >= 10))
+                .expect("row");
         }
         let mut nb = NaiveBayes::new();
         nb.fit(&d).expect("fit");

@@ -74,11 +74,7 @@ impl OneR {
         self.model.as_ref().map(|m| m.buckets.len())
     }
 
-    fn build_buckets(
-        &self,
-        data: &Dataset,
-        feature: usize,
-    ) -> (Vec<(f64, usize)>, usize) {
+    fn build_buckets(&self, data: &Dataset, feature: usize) -> (Vec<(f64, usize)>, usize) {
         let mut order: Vec<usize> = (0..data.len()).collect();
         order.sort_by(|&a, &b| {
             data.rows()[a][feature]
@@ -111,10 +107,9 @@ impl OneR {
             // class actually changes — so bucket edges align with class
             // boundaries on clean data.
             let majority_full = class_count >= self.min_bucket;
-            let at_boundary = k == order.len()
-                || data.rows()[order[k]][feature] > data.rows()[i][feature];
-            let class_changes =
-                k == order.len() || data.labels()[order[k]] != class;
+            let at_boundary =
+                k == order.len() || data.rows()[order[k]][feature] > data.rows()[i][feature];
+            let class_changes = k == order.len() || data.labels()[order[k]] != class;
             if majority_full && at_boundary && class_changes {
                 errors += bucket_len - class_count;
                 let upper = if k == order.len() {
@@ -184,7 +179,10 @@ impl Classifier for OneR {
     }
 
     fn predict(&self, features: &[f64]) -> usize {
-        let model = self.model.as_ref().expect("OneR::predict called before fit");
+        let model = self
+            .model
+            .as_ref()
+            .expect("OneR::predict called before fit");
         let value = features[model.feature];
         for &(upper, class) in &model.buckets {
             if value <= upper {
@@ -210,11 +208,8 @@ mod tests {
         )
         .expect("schema");
         for i in 0..30 {
-            d.push(
-                vec![(i % 5) as f64, i as f64],
-                usize::from(i >= 15),
-            )
-            .expect("row");
+            d.push(vec![(i % 5) as f64, i as f64], usize::from(i >= 15))
+                .expect("row");
         }
         d
     }
@@ -245,8 +240,7 @@ mod tests {
     #[test]
     fn identical_values_share_a_bucket() {
         // All values equal: a single bucket predicting the majority.
-        let mut d = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..12 {
             d.push(vec![5.0], usize::from(i < 4)).expect("row");
         }
@@ -268,8 +262,7 @@ mod tests {
 
     #[test]
     fn untrainable_data_is_rejected() {
-        let empty = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let empty = Dataset::new(vec!["f".into()], vec!["a".into(), "b".into()]).expect("schema");
         assert!(OneR::new().fit(&empty).is_err());
     }
 

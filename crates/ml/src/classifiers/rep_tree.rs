@@ -108,7 +108,13 @@ impl RepTree {
 
     /// Reduced-error pruning against `holdout` indices: returns the
     /// pruned node and its holdout error count.
-    fn prune(&self, node: Node, data: &Dataset, grow: &[usize], holdout: &[usize]) -> (Node, usize) {
+    fn prune(
+        &self,
+        node: Node,
+        data: &Dataset,
+        grow: &[usize],
+        holdout: &[usize],
+    ) -> (Node, usize) {
         match node {
             Node::Leaf { class } => {
                 let errors = holdout
@@ -236,8 +242,7 @@ mod tests {
 
     #[test]
     fn learns_a_clean_boundary() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..90 {
             d.push(vec![i as f64], usize::from(i >= 45)).expect("row");
         }
@@ -251,8 +256,7 @@ mod tests {
     #[test]
     fn pruning_controls_noise_overfit() {
         // Labels are noise: the pruned tree should stay tiny.
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..120 {
             d.push(vec![i as f64], (i * 13 + 5) % 2).expect("row");
         }
@@ -267,8 +271,7 @@ mod tests {
 
     #[test]
     fn different_seeds_may_build_different_trees_but_both_work() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..90 {
             d.push(vec![i as f64], usize::from(i >= 45)).expect("row");
         }
@@ -281,11 +284,8 @@ mod tests {
 
     #[test]
     fn structural_invariant_holds() {
-        let mut d = Dataset::new(
-            vec!["x".into(), "y".into()],
-            vec!["a".into(), "b".into()],
-        )
-        .expect("schema");
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], vec!["a".into(), "b".into()])
+            .expect("schema");
         for i in 0..100 {
             d.push(
                 vec![(i % 10) as f64, (i / 10) as f64],

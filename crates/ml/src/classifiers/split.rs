@@ -175,11 +175,8 @@ mod tests {
         )
         .expect("schema");
         for i in 0..10 {
-            d.push(
-                vec![i as f64, (i % 3) as f64],
-                usize::from(i >= 5),
-            )
-            .expect("row");
+            d.push(vec![i as f64, (i % 3) as f64], usize::from(i >= 5))
+                .expect("row");
         }
         d
     }
@@ -211,8 +208,8 @@ mod tests {
 
     #[test]
     fn constant_feature_yields_no_split() {
-        let mut d = Dataset::new(vec!["flat".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d =
+            Dataset::new(vec!["flat".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..6 {
             d.push(vec![1.0], i % 2).expect("row");
         }

@@ -119,8 +119,8 @@ mod tests {
 
     #[test]
     fn degenerate_data_predicts_majority() {
-        let mut data = Dataset::new(vec!["flat".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut data =
+            Dataset::new(vec!["flat".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..9 {
             data.push(vec![3.0], usize::from(i < 3)).expect("row");
         }

@@ -196,8 +196,8 @@ mod tests {
 
     #[test]
     fn binary_boundary_is_learned() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()])
-            .expect("schema");
+        let mut d =
+            Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()]).expect("schema");
         for i in 0..80 {
             d.push(vec![i as f64], usize::from(i >= 40)).expect("row");
         }
@@ -238,7 +238,8 @@ mod tests {
         )
         .expect("schema");
         for i in 0..40 {
-            d.push(vec![i as f64], if i >= 20 { 2 } else { 0 }).expect("row");
+            d.push(vec![i as f64], if i >= 20 { 2 } else { 0 })
+                .expect("row");
         }
         let mut svm = LinearSvm::new();
         svm.fit(&d).expect("fit");
@@ -249,8 +250,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..50 {
             d.push(vec![i as f64], usize::from(i >= 25)).expect("row");
         }

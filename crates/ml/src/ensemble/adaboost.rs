@@ -102,11 +102,8 @@ impl<B: Classifier + Clone> Classifier for AdaBoostM1<B> {
 
             // Weighted training error of this member.
             let mut error = 0.0f64;
-            let predictions: Vec<usize> =
-                data.rows().iter().map(|r| member.predict(r)).collect();
-            for (i, (&prediction, &label)) in
-                predictions.iter().zip(data.labels()).enumerate()
-            {
+            let predictions: Vec<usize> = data.rows().iter().map(|r| member.predict(r)).collect();
+            for (i, (&prediction, &label)) in predictions.iter().zip(data.labels()).enumerate() {
                 if prediction != label {
                     error += weights[i];
                 }
@@ -123,9 +120,7 @@ impl<B: Classifier + Clone> Classifier for AdaBoostM1<B> {
             }
 
             // Re-weight: misclassified instances gain, the rest decay.
-            for (i, (&prediction, &label)) in
-                predictions.iter().zip(data.labels()).enumerate()
-            {
+            for (i, (&prediction, &label)) in predictions.iter().zip(data.labels()).enumerate() {
                 if prediction != label {
                     weights[i] *= (1.0 - error) / error;
                 }
@@ -180,8 +175,7 @@ mod tests {
     fn staircase() -> Dataset {
         // Three alternating bands: a stump gets ~2/3, boosting should
         // push past it.
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..120 {
             let label = (i / 40) % 2; // bands 0 | 1 | 0
             d.push(vec![i as f64], label).expect("row");
@@ -210,15 +204,18 @@ mod tests {
     fn perfect_base_learner_stops_after_one_round() {
         // Two well-separated point masses: any bootstrap that sees both
         // classes yields a perfect stump, so boosting stops immediately.
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for _ in 0..20 {
             d.push(vec![0.0], 0).expect("row");
             d.push(vec![100.0], 1).expect("row");
         }
         let mut booster = AdaBoostM1::new(DecisionStump::new(), 50);
         booster.fit(&d).expect("fit");
-        assert_eq!(booster.num_members(), 1, "a perfect stump needs no boosting");
+        assert_eq!(
+            booster.num_members(),
+            1,
+            "a perfect stump needs no boosting"
+        );
     }
 
     #[test]
@@ -234,7 +231,9 @@ mod tests {
         let run = |seed| {
             let mut booster = AdaBoostM1::new(DecisionStump::new(), 10).with_seed(seed);
             booster.fit(&data).expect("fit");
-            (0..120).map(|i| booster.predict(&[i as f64])).collect::<Vec<_>>()
+            (0..120)
+                .map(|i| booster.predict(&[i as f64]))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
     }

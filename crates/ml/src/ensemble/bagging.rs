@@ -91,7 +91,10 @@ impl<B: Classifier + Clone> Classifier for Bagging<B> {
     }
 
     fn predict(&self, features: &[f64]) -> usize {
-        assert!(!self.members.is_empty(), "Bagging::predict called before fit");
+        assert!(
+            !self.members.is_empty(),
+            "Bagging::predict called before fit"
+        );
         let mut votes = vec![0usize; self.num_classes.max(2)];
         for member in &self.members {
             let prediction = member.predict(features);
@@ -123,8 +126,7 @@ mod tests {
         // A boundary with 15% label noise: single trees overfit, the
         // committee smooths.
         let mut rng = TestRng::seed_from_u64(3);
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..200 {
             let clean = usize::from(i >= 100);
             let label = if rng.gen_bool(0.15) { 1 - clean } else { clean };
@@ -144,10 +146,12 @@ mod tests {
     fn committee_is_at_least_as_stable_as_one_tree() {
         let train = noisy_boundary();
         // Evaluate against the *clean* boundary.
-        let mut clean = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut clean =
+            Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..200 {
-            clean.push(vec![i as f64], usize::from(i >= 100)).expect("row");
+            clean
+                .push(vec![i as f64], usize::from(i >= 100))
+                .expect("row");
         }
 
         let mut tree = RepTree::new();
@@ -169,7 +173,9 @@ mod tests {
         let run = |seed| {
             let mut bagger = Bagging::new(RepTree::new(), 5).with_seed(seed);
             bagger.fit(&data).expect("fit");
-            (0..200).map(|i| bagger.predict(&[i as f64])).collect::<Vec<_>>()
+            (0..200)
+                .map(|i| bagger.predict(&[i as f64]))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert!(run(9) != run(10) || run(9) == run(10), "both seeds valid");

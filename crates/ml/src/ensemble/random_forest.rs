@@ -90,13 +90,7 @@ impl RandomForest {
         self.trees.iter().map(node_depth).max().unwrap_or(0)
     }
 
-    fn grow(
-        &self,
-        data: &Dataset,
-        indices: &[usize],
-        depth: usize,
-        rng: &mut SmallRng,
-    ) -> Node {
+    fn grow(&self, data: &Dataset, indices: &[usize], depth: usize, rng: &mut SmallRng) -> Node {
         let counts = histogram(data, indices);
         let class = majority(data, indices);
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
@@ -113,9 +107,12 @@ impl RandomForest {
 
         let mut best: Option<Split> = None;
         for &feature in &candidates {
-            if let Some(candidate) = best_split_on_feature(data, indices, feature, self.min_leaf)
-            {
-                if best.as_ref().map(|b| candidate.gain > b.gain).unwrap_or(true) {
+            if let Some(candidate) = best_split_on_feature(data, indices, feature, self.min_leaf) {
+                if best
+                    .as_ref()
+                    .map(|b| candidate.gain > b.gain)
+                    .unwrap_or(true)
+                {
                     best = Some(candidate);
                 }
             }
@@ -190,7 +187,10 @@ impl Classifier for RandomForest {
     }
 
     fn predict(&self, features: &[f64]) -> usize {
-        assert!(!self.trees.is_empty(), "RandomForest::predict called before fit");
+        assert!(
+            !self.trees.is_empty(),
+            "RandomForest::predict called before fit"
+        );
         let mut votes = vec![0usize; self.num_classes.max(2)];
         for tree in &self.trees {
             let prediction = classify(tree, features);
@@ -265,11 +265,8 @@ mod tests {
 
     #[test]
     fn multiclass_voting_works() {
-        let mut d = Dataset::new(
-            vec!["x".into()],
-            vec!["a".into(), "b".into(), "c".into()],
-        )
-        .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into(), "c".into()])
+            .expect("schema");
         for i in 0..90 {
             d.push(vec![i as f64], i / 30).expect("row");
         }

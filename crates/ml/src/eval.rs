@@ -278,10 +278,10 @@ mod tests {
     use crate::classifiers::zero_r::ZeroR;
 
     fn separable(n: usize) -> Dataset {
-        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])
-            .expect("schema");
+        let mut d = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]).expect("schema");
         for i in 0..n {
-            d.push(vec![i as f64], usize::from(i >= n / 2)).expect("row");
+            d.push(vec![i as f64], usize::from(i >= n / 2))
+                .expect("row");
         }
         d
     }

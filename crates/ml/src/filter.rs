@@ -1,6 +1,6 @@
-//! Attribute filters: standardisation and min–max normalisation,
-//! fitted on training data and applied to anything (the WEKA
-//! `Standardize`/`Normalize` filters).
+//! Attribute filters: standardisation, min–max normalisation, and
+//! median imputation, fitted on training data and applied to anything
+//! (the WEKA `Standardize`/`Normalize`/`ReplaceMissingValues` filters).
 
 use serde::{Deserialize, Serialize};
 
@@ -56,11 +56,7 @@ impl Standardize {
 
     /// Transform a whole dataset (labels preserved).
     pub fn transform(&self, data: &Dataset) -> Dataset {
-        let rows = data
-            .rows()
-            .iter()
-            .map(|r| self.transform_row(r))
-            .collect();
+        let rows = data.rows().iter().map(|r| self.transform_row(r)).collect();
         Dataset::from_rows(
             data.feature_names().to_vec(),
             data.class_names().to_vec(),
@@ -121,11 +117,7 @@ impl MinMaxNormalize {
 
     /// Transform a whole dataset (labels preserved).
     pub fn transform(&self, data: &Dataset) -> Dataset {
-        let rows = data
-            .rows()
-            .iter()
-            .map(|r| self.transform_row(r))
-            .collect();
+        let rows = data.rows().iter().map(|r| self.transform_row(r)).collect();
         Dataset::from_rows(
             data.feature_names().to_vec(),
             data.class_names().to_vec(),
@@ -133,6 +125,96 @@ impl MinMaxNormalize {
             data.labels().to_vec(),
         )
         .expect("same schema")
+    }
+}
+
+/// Median imputation for corrupted readings: per-feature medians are
+/// fitted over the *finite* training values, then any non-finite value
+/// (NaN from a starved multiplexed counter, ±∞ from a scaling blowup)
+/// is replaced by its feature's median — WEKA's `ReplaceMissingValues`
+/// with medians instead of means, which survive the heavy-tailed
+/// corruption fault injection produces.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_ml::{Dataset, Impute};
+///
+/// let mut data = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()])?;
+/// data.push(vec![1.0], 0)?;
+/// data.push(vec![3.0], 1)?;
+/// data.push(vec![100.0], 0)?;
+/// let filter = Impute::fit(&data);
+/// assert_eq!(filter.transform_row(&[f64::NAN]), vec![3.0]);
+/// # Ok::<(), hbmd_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Impute {
+    medians: Vec<f64>,
+}
+
+impl Impute {
+    /// Fit per-feature medians over the finite training values; a
+    /// feature with no finite values at all imputes to zero.
+    pub fn fit(data: &Dataset) -> Impute {
+        let medians = (0..data.num_features())
+            .map(|j| {
+                let mut finite: Vec<f64> = data
+                    .rows()
+                    .iter()
+                    .map(|r| r[j])
+                    .filter(|v| v.is_finite())
+                    .collect();
+                median_in_place(&mut finite)
+            })
+            .collect();
+        Impute { medians }
+    }
+
+    /// The fitted per-feature medians.
+    pub fn medians(&self) -> &[f64] {
+        &self.medians
+    }
+
+    /// Transform one row: non-finite values become their feature's
+    /// median, finite values pass through untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the fitted schema.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.medians.len(), "row width mismatch");
+        row.iter()
+            .zip(&self.medians)
+            .map(|(&x, &median)| if x.is_finite() { x } else { median })
+            .collect()
+    }
+
+    /// Transform a whole dataset (labels preserved).
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let rows = data.rows().iter().map(|r| self.transform_row(r)).collect();
+        Dataset::from_rows(
+            data.feature_names().to_vec(),
+            data.class_names().to_vec(),
+            rows,
+            data.labels().to_vec(),
+        )
+        .expect("same schema")
+    }
+}
+
+/// Median of `values` (sorted in place); zero for an empty slice. Even
+/// lengths average the middle pair.
+pub(crate) fn median_in_place(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
     }
 }
 
@@ -186,6 +268,31 @@ mod tests {
         assert_eq!(clamped[0], 0.0);
         let clamped = f.transform_row(&[999.0, 7.0]);
         assert_eq!(clamped[0], 1.0);
+    }
+
+    #[test]
+    fn impute_replaces_only_non_finite_values() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], vec!["x".into(), "y".into()])
+            .expect("schema");
+        d.push(vec![1.0, f64::NAN], 0).expect("row");
+        d.push(vec![3.0, 10.0], 1).expect("row");
+        d.push(vec![5.0, 20.0], 0).expect("row");
+        let f = Impute::fit(&d);
+        // Feature medians ignore the NaN: [1,3,5] → 3, [10,20] → 15.
+        assert_eq!(f.medians(), &[3.0, 15.0]);
+        assert_eq!(f.transform_row(&[f64::INFINITY, 12.5]), vec![3.0, 12.5]);
+        let t = f.transform(&d);
+        assert!(t.rows().iter().flatten().all(|v| v.is_finite()));
+        assert_eq!(t.labels(), d.labels());
+    }
+
+    #[test]
+    fn impute_on_hopeless_feature_defaults_to_zero() {
+        let mut d = Dataset::new(vec!["a".into()], vec!["x".into(), "y".into()]).expect("schema");
+        d.push(vec![f64::NAN], 0).expect("row");
+        d.push(vec![f64::NEG_INFINITY], 1).expect("row");
+        let f = Impute::fit(&d);
+        assert_eq!(f.transform_row(&[f64::NAN]), vec![0.0]);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use classifiers::zero_r::ZeroR;
 pub use data::{Dataset, MlError};
 pub use ensemble::{AdaBoostM1, Bagging, RandomForest};
 pub use eval::{cross_validate, ConfusionMatrix, Evaluation};
-pub use filter::{MinMaxNormalize, Standardize};
+pub use filter::{Impute, MinMaxNormalize, Standardize};
 pub use linalg::{covariance_matrix, jacobi_eigen, Matrix};
 pub use pca::{Pca, RankedAttribute};
 pub use roc::{RocCurve, RocPoint};

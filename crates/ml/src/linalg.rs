@@ -193,7 +193,10 @@ pub fn covariance_matrix(rows: &[Vec<f64>]) -> Matrix {
 ///
 /// Panics when `m` is not symmetric (tolerance `1e-9`).
 pub fn jacobi_eigen(m: &Matrix) -> (Vec<f64>, Matrix) {
-    assert!(m.is_symmetric(1e-9), "jacobi_eigen requires a symmetric matrix");
+    assert!(
+        m.is_symmetric(1e-9),
+        "jacobi_eigen requires a symmetric matrix"
+    );
     let n = m.num_rows();
     let mut a = m.clone();
     let mut v = Matrix::identity(n);

@@ -282,7 +282,10 @@ mod tests {
         let pca = Pca::fit(&data).expect("fit");
         let projected = pca.transform(&data, 2);
         assert_eq!(projected.num_features(), 2);
-        assert_eq!(projected.feature_names(), &["PC1".to_owned(), "PC2".to_owned()]);
+        assert_eq!(
+            projected.feature_names(),
+            &["PC1".to_owned(), "PC2".to_owned()]
+        );
         assert_eq!(projected.len(), data.len());
         assert_eq!(projected.labels(), data.labels());
     }

@@ -219,8 +219,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_fpr")]
     fn bad_fpr_budget_panics() {
-        let roc =
-            RocCurve::from_scores(&[0.1, 0.9], &[false, true]).expect("roc");
+        let roc = RocCurve::from_scores(&[0.1, 0.9], &[false, true]).expect("roc");
         let _ = roc.operating_point(1.5);
     }
 }

@@ -315,9 +315,7 @@ mod tests {
     fn comments_are_skipped() {
         let mut buffer = Vec::new();
         write_arff(&mut buffer, "r", &toy()).expect("write");
-        let mut text = String::from(
-            "% produced by hbmd\n",
-        );
+        let mut text = String::from("% produced by hbmd\n");
         text.push_str(&String::from_utf8(buffer).expect("utf8"));
         let parsed = read_arff(BufReader::new(text.as_bytes())).expect("parse");
         assert_eq!(parsed.len(), 2);

@@ -1,8 +1,12 @@
-use hbmd_malware::{MultiEngineLabeler, Sample, SampleCatalog};
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Duration;
+
+use hbmd_malware::{MultiEngineLabeler, Sample, SampleCatalog, SampleId};
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::{DataRow, HpcDataset};
 use crate::error::PerfError;
+use crate::fault::{FaultCounts, FaultInjector, FaultPlan};
 use crate::sampler::{Sampler, SamplerConfig};
 
 /// Configuration for whole-catalog collection.
@@ -17,6 +21,18 @@ pub struct CollectorConfig {
     /// Label rows with a multi-engine labeller instead of ground truth,
     /// introducing realistic label noise.
     pub labeler: Option<MultiEngineLabeler>,
+    /// Inject collection-path faults (`None` = pristine pipeline).
+    pub fault: Option<FaultPlan>,
+    /// Extra attempts per sample after a failed (panicked) collection.
+    pub max_retries: u32,
+    /// Base of the deterministic exponential backoff between retry
+    /// attempts, in milliseconds (attempt `n` sleeps `base << (n-1)`).
+    /// Zero (the default) retries immediately — the simulator has no
+    /// transient hardware to wait out, but real deployments do.
+    pub retry_backoff_ms: u64,
+    /// Abort with [`PerfError::DegradedCollection`] when more than this
+    /// fraction of samples is quarantined after retries.
+    pub failure_threshold: f64,
 }
 
 impl CollectorConfig {
@@ -28,6 +44,10 @@ impl CollectorConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             labeler: None,
+            fault: None,
+            max_retries: 2,
+            retry_backoff_ms: 0,
+            failure_threshold: 0.5,
         }
     }
 
@@ -38,6 +58,18 @@ impl CollectorConfig {
             sampler: SamplerConfig::fast(),
             threads: 1,
             labeler: None,
+            fault: None,
+            max_retries: 2,
+            retry_backoff_ms: 0,
+            failure_threshold: 0.5,
+        }
+    }
+
+    /// `fast()` with a fault plan attached.
+    pub fn faulted(plan: FaultPlan) -> CollectorConfig {
+        CollectorConfig {
+            fault: Some(plan),
+            ..CollectorConfig::fast()
         }
     }
 }
@@ -48,9 +80,80 @@ impl Default for CollectorConfig {
     }
 }
 
+/// What happened during one catalog collection: how much data survived,
+/// which samples had to be quarantined, and the injected-fault tally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionReport {
+    /// Samples in the catalog.
+    pub samples_total: usize,
+    /// Rows that made it into the dataset.
+    pub rows: usize,
+    /// Samples that failed every attempt and contributed no rows.
+    pub quarantined: Vec<SampleId>,
+    /// Retry attempts spent across all samples.
+    pub retries: usize,
+    /// Faults observed/injected across all samples (final attempts plus
+    /// the panics of failed ones).
+    pub faults: FaultCounts,
+}
+
+impl CollectionReport {
+    /// Fraction of the catalog that was quarantined.
+    pub fn failure_rate(&self) -> f64 {
+        if self.samples_total == 0 {
+            0.0
+        } else {
+            self.quarantined.len() as f64 / self.samples_total as f64
+        }
+    }
+
+    /// `true` when nothing was quarantined, retried, or corrupted.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.retries == 0 && self.faults.total() == 0
+    }
+}
+
+/// Message prefix of injected worker panics; the quiet panic hook keys
+/// on it so genuine bugs still report normally.
+const INJECTED_PANIC_PREFIX: &str = "injected worker fault";
+
+/// Installs (once, process-wide) a panic hook that is silent for
+/// injected worker faults and delegates to the previous hook for
+/// everything else. Injected panics are expected control flow under
+/// `catch_unwind`; their default backtraces would drown real
+/// diagnostics in faulted collections.
+fn install_quiet_injection_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with(INJECTED_PANIC_PREFIX));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Per-sample result of the resilient collection path.
+struct SampleOutcome {
+    rows: Vec<DataRow>,
+    retries: usize,
+    faults: FaultCounts,
+    quarantined: Option<SampleId>,
+}
+
 /// Runs the full collection pipeline over a [`SampleCatalog`]: every
 /// sample is launched in its container, sampled for the configured
 /// number of windows, and its windows appended as dataset rows.
+///
+/// Collection is fault-tolerant: a sample whose worker panics is
+/// retried up to [`CollectorConfig::max_retries`] times and quarantined
+/// (not fatal) if it keeps failing — see
+/// [`Collector::collect_with_report`].
 ///
 /// # Examples
 ///
@@ -72,14 +175,14 @@ impl Collector {
     ///
     /// # Panics
     ///
-    /// Panics when the sampler configuration is invalid or `threads` is
-    /// zero; collection setups are authored constants.
+    /// Panics when the sampler configuration, fault plan, or threshold
+    /// is invalid or `threads` is zero; collection setups are authored
+    /// constants.
     pub fn new(config: CollectorConfig) -> Collector {
-        if let Err(e) = config.sampler.validate() {
-            panic!("invalid collector config: {e}");
+        match Collector::try_new(config) {
+            Ok(collector) => collector,
+            Err(e) => panic!("invalid collector config: {e}"),
         }
-        assert!(config.threads > 0, "threads must be non-zero");
-        Collector { config }
     }
 
     /// Fallible constructor for dynamically-built configurations.
@@ -93,6 +196,17 @@ impl Collector {
         if config.threads == 0 {
             return Err(PerfError::Config("threads must be non-zero".to_owned()));
         }
+        if let Some(plan) = &config.fault {
+            plan.validate()?;
+        }
+        if !(config.failure_threshold.is_finite()
+            && (0.0..=1.0).contains(&config.failure_threshold))
+        {
+            return Err(PerfError::Config(format!(
+                "failure_threshold {} is outside [0, 1]",
+                config.failure_threshold
+            )));
+        }
         Ok(Collector { config })
     }
 
@@ -103,57 +217,190 @@ impl Collector {
 
     /// Collect the whole catalog into a labelled dataset, in catalog
     /// order.
+    ///
+    /// Convenience wrapper over [`Collector::collect_with_report`] that
+    /// discards the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the failure rate exceeds
+    /// [`CollectorConfig::failure_threshold`] — callers that want to
+    /// handle degraded collections use `collect_with_report`.
     pub fn collect(&self, catalog: &SampleCatalog) -> HpcDataset {
-        let samples = catalog.samples();
-        if self.config.threads <= 1 || samples.len() < 2 {
-            return samples
-                .iter()
-                .flat_map(|s| self.collect_one(s))
-                .collect();
+        match self.collect_with_report(catalog) {
+            Ok((dataset, _)) => dataset,
+            Err(e) => panic!("collection failed: {e}"),
         }
-
-        // Parallel: chunk the catalog across scoped worker threads and
-        // reassemble in order.
-        let threads = self.config.threads.min(samples.len());
-        let chunk_len = samples.len().div_ceil(threads);
-        let mut chunks: Vec<Vec<DataRow>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = samples
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .flat_map(|s| self.collect_one(s))
-                            .collect::<Vec<DataRow>>()
-                    })
-                })
-                .collect();
-            chunks = handles
-                .into_iter()
-                .map(|h| h.join().expect("collection worker panicked"))
-                .collect();
-        })
-        .expect("collection scope panicked");
-        chunks.into_iter().flatten().collect()
     }
 
-    /// Collect one sample's rows.
+    /// Collect the whole catalog, reporting quarantined samples, retry
+    /// spend, and fault tallies alongside the dataset.
+    ///
+    /// Each sample is collected under `catch_unwind`; a panicking
+    /// worker loses only that sample's attempt. Failed attempts are
+    /// retried with deterministic exponential backoff, then the sample
+    /// is quarantined. Rows come back in catalog order regardless of
+    /// thread count, and fault injection is keyed on
+    /// `(plan.seed, sample id, attempt)`, so the result is
+    /// byte-identical across runs and thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::DegradedCollection`] when the quarantine
+    /// rate exceeds [`CollectorConfig::failure_threshold`].
+    pub fn collect_with_report(
+        &self,
+        catalog: &SampleCatalog,
+    ) -> Result<(HpcDataset, CollectionReport), PerfError> {
+        if self
+            .config
+            .fault
+            .as_ref()
+            .is_some_and(|plan| plan.worker_panic > 0.0)
+        {
+            install_quiet_injection_hook();
+        }
+        let samples = catalog.samples();
+        let outcomes: Vec<SampleOutcome> = if self.config.threads <= 1 || samples.len() < 2 {
+            samples.iter().map(|s| self.collect_resilient(s)).collect()
+        } else {
+            // Parallel: chunk the catalog across scoped worker threads
+            // and reassemble in order.
+            let threads = self.config.threads.min(samples.len());
+            let chunk_len = samples.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = samples
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|s| self.collect_resilient(s))
+                                .collect::<Vec<SampleOutcome>>()
+                        })
+                    })
+                    .collect();
+                // Per-sample panics are caught inside collect_resilient;
+                // a panic escaping to here is a harness bug, not a
+                // collection fault.
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("collection worker harness panicked"))
+                    .collect()
+            })
+        };
+
+        let mut report = CollectionReport {
+            samples_total: samples.len(),
+            rows: 0,
+            quarantined: Vec::new(),
+            retries: 0,
+            faults: FaultCounts::default(),
+        };
+        let mut rows = Vec::new();
+        for outcome in outcomes {
+            report.rows += outcome.rows.len();
+            report.retries += outcome.retries;
+            report.faults.merge(&outcome.faults);
+            if let Some(id) = outcome.quarantined {
+                report.quarantined.push(id);
+            }
+            rows.extend(outcome.rows);
+        }
+
+        if report.failure_rate() > self.config.failure_threshold {
+            return Err(PerfError::DegradedCollection {
+                failed: report.quarantined.len(),
+                total: report.samples_total,
+                threshold: self.config.failure_threshold,
+            });
+        }
+        Ok((rows.into_iter().collect(), report))
+    }
+
+    /// Collect one sample's rows through the single-attempt path (no
+    /// retry) — the building block the resilient path wraps.
     pub fn collect_one(&self, sample: &Sample) -> Vec<DataRow> {
+        self.collect_attempt(sample, 0).0
+    }
+
+    /// One attempt: inject faults (if configured) keyed on the sample
+    /// and attempt number, then sample and label. Returns the attempt's
+    /// fault tally alongside the rows.
+    fn collect_attempt(&self, sample: &Sample, attempt: u32) -> (Vec<DataRow>, FaultCounts) {
+        let mut injector = self
+            .config
+            .fault
+            .as_ref()
+            .filter(|plan| !plan.is_none())
+            .map(|plan| FaultInjector::for_sample(plan, sample.id(), attempt));
+        if let Some(inj) = injector.as_mut() {
+            if inj.rolls_worker_panic() {
+                panic!("{INJECTED_PANIC_PREFIX} while collecting {:?}", sample.id());
+            }
+        }
+
         let sampler = Sampler::new(self.config.sampler.clone()).expect("validated");
         let class = match &self.config.labeler {
             Some(labeler) => labeler.label(sample).label,
             None => sample.class(),
         };
-        sampler
-            .collect_sample(sample)
+        let mut windows = sampler.collect_sample(sample);
+        let mut counts = FaultCounts::default();
+        if let Some(inj) = injector.as_mut() {
+            windows = inj.apply(windows);
+            counts = *inj.counts();
+        }
+        let rows = windows
             .into_iter()
             .map(|features| DataRow {
                 sample: sample.id(),
                 class,
                 features,
             })
-            .collect()
+            .collect();
+        (rows, counts)
+    }
+
+    /// Attempt-with-retry loop for one sample; never panics.
+    fn collect_resilient(&self, sample: &Sample) -> SampleOutcome {
+        let attempts = self.config.max_retries + 1;
+        let mut retries = 0;
+        let mut faults = FaultCounts::default();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                retries += 1;
+                if self.config.retry_backoff_ms > 0 {
+                    let backoff = self.config.retry_backoff_ms << (attempt - 1);
+                    std::thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+            let outcome =
+                panic::catch_unwind(AssertUnwindSafe(|| self.collect_attempt(sample, attempt)));
+            match outcome {
+                Ok((rows, attempt_faults)) => {
+                    faults.merge(&attempt_faults);
+                    return SampleOutcome {
+                        rows,
+                        retries,
+                        faults,
+                        quarantined: None,
+                    };
+                }
+                // A panicking attempt rolls the worker-panic fault
+                // before touching the PMU, so its only fault IS the
+                // panic; the injector's own tally dies with the stack.
+                Err(_) => {
+                    faults.worker_panics += 1;
+                }
+            }
+        }
+        SampleOutcome {
+            rows: Vec::new(),
+            retries,
+            faults,
+            quarantined: Some(sample.id()),
+        }
     }
 }
 
@@ -214,6 +461,15 @@ mod tests {
         let mut config = CollectorConfig::fast();
         config.sampler.windows_per_sample = 0;
         assert!(Collector::try_new(config).is_err());
+
+        let mut config = CollectorConfig::fast();
+        config.failure_threshold = 1.5;
+        assert!(Collector::try_new(config).is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.drop_window = 2.0;
+        let config = CollectorConfig::faulted(plan);
+        assert!(Collector::try_new(config).is_err());
     }
 
     #[test]
@@ -222,10 +478,8 @@ mod tests {
         // visible in the collected features. Check the class-mean
         // store counts differ strongly between worm and backdoor.
         use hbmd_events::HpcEvent;
-        let catalog = SampleCatalog::with_counts(
-            &[(AppClass::Worm, 6), (AppClass::Backdoor, 6)],
-            11,
-        );
+        let catalog =
+            SampleCatalog::with_counts(&[(AppClass::Worm, 6), (AppClass::Backdoor, 6)], 11);
         let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
         let mean = |class: AppClass| {
             let rows: Vec<f64> = dataset
@@ -240,5 +494,83 @@ mod tests {
             worm > 2.0 * backdoor,
             "worm stores {worm} vs backdoor {backdoor}"
         );
+    }
+
+    #[test]
+    fn clean_collection_reports_clean() {
+        let catalog = SampleCatalog::scaled(0.01, 5);
+        let (dataset, report) = Collector::new(CollectorConfig::fast())
+            .collect_with_report(&catalog)
+            .expect("pristine");
+        assert_eq!(report.rows, dataset.len());
+        assert_eq!(report.samples_total, catalog.len());
+        assert!(report.is_clean());
+        assert_eq!(report.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn faulted_collection_completes_and_reports() {
+        let catalog = SampleCatalog::scaled(0.02, 5);
+        let plan = FaultPlan::uniform(0.1, 21);
+        let (dataset, report) = Collector::new(CollectorConfig::faulted(plan))
+            .collect_with_report(&catalog)
+            .expect("under threshold");
+        assert!(!dataset.is_empty());
+        assert!(report.faults.total() > 0, "faults should have fired");
+        // Quarantined samples contributed no rows.
+        for id in &report.quarantined {
+            assert!(dataset.rows().iter().all(|r| r.sample != *id));
+        }
+    }
+
+    #[test]
+    fn worker_panics_are_retried_not_fatal() {
+        let catalog = SampleCatalog::scaled(0.02, 5);
+        // Panic-prone but retried: each attempt re-rolls, so most
+        // samples survive within 3 attempts.
+        let plan = FaultPlan::panics_only(0.3, 13);
+        let (dataset, report) = Collector::new(CollectorConfig {
+            threads: 4,
+            ..CollectorConfig::faulted(plan)
+        })
+        .collect_with_report(&catalog)
+        .expect("under threshold");
+        assert!(report.faults.worker_panics > 0, "panics should have fired");
+        assert!(report.retries > 0, "panicked samples should be retried");
+        assert!(!dataset.is_empty());
+        assert!(report.failure_rate() < 0.5);
+    }
+
+    #[test]
+    fn faulted_collection_is_deterministic_across_thread_counts() {
+        let catalog = SampleCatalog::scaled(0.02, 5);
+        let plan = FaultPlan::uniform(0.15, 77);
+        let run = |threads: usize| {
+            Collector::new(CollectorConfig {
+                threads,
+                ..CollectorConfig::faulted(plan.clone())
+            })
+            .collect_with_report(&catalog)
+            .expect("under threshold")
+        };
+        let (data_seq, report_seq) = run(1);
+        let (data_par, report_par) = run(4);
+        // Debug-compare the datasets: starved readings are NaN, and
+        // NaN != NaN under `PartialEq` (f64 Debug round-trips bits).
+        assert_eq!(format!("{data_seq:?}"), format!("{data_par:?}"));
+        assert_eq!(report_seq, report_par);
+    }
+
+    #[test]
+    fn hopeless_collection_degrades_with_typed_error() {
+        let catalog = SampleCatalog::scaled(0.01, 5);
+        let plan = FaultPlan::panics_only(1.0, 3); // every attempt dies
+        let result = Collector::new(CollectorConfig::faulted(plan)).collect_with_report(&catalog);
+        match result {
+            Err(PerfError::DegradedCollection { failed, total, .. }) => {
+                assert_eq!(failed, total);
+            }
+            other => panic!("expected DegradedCollection, got {other:?}"),
+        }
     }
 }

@@ -130,9 +130,12 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<HpcDataset, PerfError> {
                     .map_err(|_| csv_err(line_no, &format!("bad feature value `{field}`")))?,
             );
         }
-        let class: AppClass = fields[expected - 1]
-            .parse()
-            .map_err(|_| csv_err(line_no, &format!("unknown class `{}`", fields[expected - 1])))?;
+        let class: AppClass = fields[expected - 1].parse().map_err(|_| {
+            csv_err(
+                line_no,
+                &format!("unknown class `{}`", fields[expected - 1]),
+            )
+        })?;
         dataset.push(DataRow {
             sample,
             class,
@@ -208,9 +211,11 @@ mod tests {
     fn wrong_header_name_is_an_error() {
         let mut buffer = Vec::new();
         write_csv(&mut buffer, &toy(), false).expect("write");
-        let text = String::from_utf8(buffer)
-            .expect("utf8")
-            .replacen("branch-instructions", "branch-intructions", 1);
+        let text = String::from_utf8(buffer).expect("utf8").replacen(
+            "branch-instructions",
+            "branch-intructions",
+            1,
+        );
         let err = read_csv(BufReader::new(text.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("branch-intructions"));
     }

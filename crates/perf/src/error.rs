@@ -30,6 +30,16 @@ pub enum PerfError {
     },
     /// A configuration value is unusable.
     Config(String),
+    /// Too many samples failed collection even after retries; the
+    /// dataset would be too degraded to trust.
+    DegradedCollection {
+        /// Samples quarantined after exhausting retries.
+        failed: usize,
+        /// Samples attempted.
+        total: usize,
+        /// Configured failure-rate ceiling that was exceeded.
+        threshold: f64,
+    },
 }
 
 impl fmt::Display for PerfError {
@@ -46,6 +56,16 @@ impl fmt::Display for PerfError {
                 write!(f, "trace parse error at line {line}: {message}")
             }
             PerfError::Config(message) => write!(f, "invalid configuration: {message}"),
+            PerfError::DegradedCollection {
+                failed,
+                total,
+                threshold,
+            } => write!(
+                f,
+                "collection degraded beyond use: {failed}/{total} samples failed \
+                 (threshold {:.0}%)",
+                threshold * 100.0
+            ),
         }
     }
 }

@@ -49,12 +49,14 @@ mod collect;
 mod container;
 mod dataset;
 mod error;
+mod fault;
 mod pmu;
 mod sampler;
 
-pub use collect::{Collector, CollectorConfig};
+pub use collect::{CollectionReport, Collector, CollectorConfig};
 pub use container::Container;
 pub use dataset::{DataRow, HpcDataset};
 pub use error::PerfError;
+pub use fault::{FaultCounts, FaultInjector, FaultPlan, SATURATION_CEILING};
 pub use pmu::{Pmu, PmuConfig};
 pub use sampler::{Sampler, SamplerConfig};

@@ -294,8 +294,7 @@ mod tests {
                 values.push(fv[HpcEvent::L1DcacheLoadMisses]);
             }
             let mean = values.iter().sum::<f64>() / values.len() as f64;
-            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / values.len() as f64;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
             var.sqrt() / mean.max(1e-9)
         };
         let light = spread(PmuConfig::haswell_collected());

@@ -145,11 +145,9 @@ impl Sampler {
                 Some(pmu) => {
                     pmu.measure_window(cpu, &mut stream, self.config.instructions_per_window)
                 }
-                None => Pmu::measure_window_exact(
-                    cpu,
-                    &mut stream,
-                    self.config.instructions_per_window,
-                ),
+                None => {
+                    Pmu::measure_window_exact(cpu, &mut stream, self.config.instructions_per_window)
+                }
             })
             .collect()
     }

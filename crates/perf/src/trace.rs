@@ -78,10 +78,7 @@ pub fn write_trace<W: Write>(
 pub fn parse_trace<R: BufRead>(reader: R) -> Result<TraceFile, PerfError> {
     let mut lines = reader.lines().enumerate();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| trace_err(1, "empty trace"))?
-        .1?;
+    let header = lines.next().ok_or_else(|| trace_err(1, "empty trace"))?.1?;
     let header = header.trim();
     let rest = header
         .strip_prefix("# perf stat -I 10 -- ")
@@ -145,7 +142,10 @@ pub fn parse_trace<R: BufRead>(reader: R) -> Result<TraceFile, PerfError> {
     }
     if seen > 0 {
         if seen != HpcEvent::COUNT {
-            return Err(trace_err(0, &format!("final interval covered {seen} of 16 events")));
+            return Err(trace_err(
+                0,
+                &format!("final interval covered {seen} of 16 events"),
+            ));
         }
         windows.push(FeatureVector::from_slice(&current).expect("16 values"));
     }
@@ -184,8 +184,7 @@ mod tests {
     fn round_trip() {
         let original = windows();
         let mut buffer = Vec::new();
-        write_trace(&mut buffer, "sample-00007", AppClass::Virus, &original, 0.5)
-            .expect("write");
+        write_trace(&mut buffer, "sample-00007", AppClass::Virus, &original, 0.5).expect("write");
         let parsed = parse_trace(BufReader::new(buffer.as_slice())).expect("parse");
         assert_eq!(parsed.sample_name, "sample-00007");
         assert_eq!(parsed.class, AppClass::Virus);
@@ -217,7 +216,11 @@ mod tests {
         write_trace(&mut buffer, "s", AppClass::Worm, &windows(), 1.0).expect("write");
         let mut text = String::from_utf8(buffer).expect("utf8");
         // Drop the last line of the final interval.
-        text = text.trim_end().rsplit_once('\n').map(|(a, _)| a.to_owned()).expect("lines");
+        text = text
+            .trim_end()
+            .rsplit_once('\n')
+            .map(|(a, _)| a.to_owned())
+            .expect("lines");
         let err = parse_trace(BufReader::new(text.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("of 16 events"), "{err}");
     }

@@ -169,11 +169,14 @@ mod tests {
             .samples()
             .iter()
             .flat_map(|s| {
-                sampler.collect_sample(s).into_iter().map(move |features| DataRow {
-                    sample: s.id(),
-                    class: s.class(),
-                    features,
-                })
+                sampler
+                    .collect_sample(s)
+                    .into_iter()
+                    .map(move |features| DataRow {
+                        sample: s.id(),
+                        class: s.class(),
+                        features,
+                    })
             })
             .collect();
 

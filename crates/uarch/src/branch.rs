@@ -283,8 +283,7 @@ mod tests {
             let site = rng.gen_range(0..32u64);
             bp.predict_and_train(0x1000 + site * 8, site_dir(site), 0x9000);
         }
-        let late_ratio =
-            (bp.mispredicts() - warm) as f64 / (bp.branches() - warm_branches) as f64;
+        let late_ratio = (bp.mispredicts() - warm) as f64 / (bp.branches() - warm_branches) as f64;
         assert!(
             late_ratio < 0.10,
             "stable sites should stay predictable, got {late_ratio}"

@@ -50,9 +50,15 @@ impl CacheConfig {
             return Err("cache geometry fields must be non-zero".to_owned());
         }
         if !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size {} is not a power of two", self.line_bytes));
+            return Err(format!(
+                "line size {} is not a power of two",
+                self.line_bytes
+            ));
         }
-        if !self.size_bytes.is_multiple_of(self.associativity * self.line_bytes) {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.associativity * self.line_bytes)
+        {
             return Err(format!(
                 "size {} is not divisible by associativity {} x line {}",
                 self.size_bytes, self.associativity, self.line_bytes

@@ -90,7 +90,10 @@ pub struct TraceSource {
 ///
 /// Panics when `trace` is empty — an empty trace can produce nothing.
 pub fn trace_source(trace: Vec<Instruction>) -> TraceSource {
-    assert!(!trace.is_empty(), "trace must contain at least one instruction");
+    assert!(
+        !trace.is_empty(),
+        "trace must contain at least one instruction"
+    );
     TraceSource { trace, cursor: 0 }
 }
 

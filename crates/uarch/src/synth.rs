@@ -223,7 +223,10 @@ impl InstructionSource for SyntheticStream {
 
         // Advance the PC: fall through, or redirect on a taken branch.
         match op {
-            Op::Branch { target, taken: true } => {
+            Op::Branch {
+                target,
+                taken: true,
+            } => {
                 self.pc = target;
                 self.function_base = target;
             }
@@ -384,7 +387,10 @@ mod tests {
         };
         let tight = run(1024, 0.98);
         let sprawling = run(2 * 1024 * 1024, 0.3);
-        assert!(sprawling > tight * 3, "sprawling {sprawling} vs tight {tight}");
+        assert!(
+            sprawling > tight * 3,
+            "sprawling {sprawling} vs tight {tight}"
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sampler = Sampler::new(SamplerConfig::paper())?;
     let traces_dir = out_dir.join("traces");
     let paths = trace_dir::write_sample_traces(&traces_dir, &catalog, &sampler)?;
-    println!("wrote {} trace files under {}", paths.len(), traces_dir.display());
+    println!(
+        "wrote {} trace files under {}",
+        paths.len(),
+        traces_dir.display()
+    );
 
     // 2. Combine the trace files back into a dataset (the paper's
     //    text-files-to-CSV step), then write the combined CSV.
@@ -38,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. WEKA ARFF, nominal classes.
     let arff_path = out_dir.join("hpc-malware.arff");
-    arff::write_arff(BufWriter::new(File::create(&arff_path)?), "hpc-malware", &dataset)?;
+    arff::write_arff(
+        BufWriter::new(File::create(&arff_path)?),
+        "hpc-malware",
+        &dataset,
+    )?;
     println!("wrote {}", arff_path.display());
 
     // 4. The numeric 0/1-class variant some classifiers need.
@@ -53,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: the direct collector and the trace-directory flow agree.
     let direct = Collector::new(CollectorConfig::paper()).collect(&catalog);
     assert_eq!(direct.len(), dataset.len());
-    println!("\ntrace-directory flow matches direct collection ({} rows)", direct.len());
+    println!(
+        "\ntrace-directory flow matches direct collection ({} rows)",
+        direct.len()
+    );
     Ok(())
 }

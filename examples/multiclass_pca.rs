@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figures 17–18: the three multiclass schemes.
     println!("\nmulticlass accuracy (benign + 5 families):");
     for row in multiclass::accuracy_comparison(&config)? {
-        println!("  {:<22} {:.1}%", row.scheme.name(), row.average_accuracy * 100.0);
+        println!(
+            "  {:<22} {:.1}%",
+            row.scheme.name(),
+            row.average_accuracy * 100.0
+        );
         let classes = ["benign", "backdoor", "rootkit", "trojan", "virus", "worm"];
         for (name, recall) in classes.iter().zip(&row.per_class) {
             println!("      {name:<9} recall {:.1}%", recall * 100.0);
@@ -36,9 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 19: custom-8 per class vs the generic top-8.
     let result = multiclass::pca_assisted_comparison(&config)?;
     println!("\nPCA-assisted MLR vs normal MLR:");
-    println!("  MLR, 16 features (context):       {:.1}%", result.plain_full_accuracy * 100.0);
-    println!("  normal MLR, generic top-8:        {:.1}%", result.plain_accuracy * 100.0);
-    println!("  assisted MLR, custom-8 per class: {:.1}%", result.assisted_accuracy * 100.0);
+    println!(
+        "  MLR, 16 features (context):       {:.1}%",
+        result.plain_full_accuracy * 100.0
+    );
+    println!(
+        "  normal MLR, generic top-8:        {:.1}%",
+        result.plain_accuracy * 100.0
+    );
+    println!(
+        "  assisted MLR, custom-8 per class: {:.1}%",
+        result.assisted_accuracy * 100.0
+    );
     println!("  improvement: {:+.1}pp", result.improvement() * 100.0);
     Ok(())
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    in an isolated container on the simulated Haswell core, with
     //    the 16 events multiplexed onto 8 PMU registers.
     let dataset = Collector::new(CollectorConfig::paper()).collect(&catalog);
-    println!("\ncollected {} windows of 16 scaled counters", dataset.len());
+    println!(
+        "\ncollected {} windows of 16 scaled counters",
+        dataset.len()
+    );
 
     // 3. Train a binary detector on the PCA top-8 features with the
     //    paper's 70/30 protocol.

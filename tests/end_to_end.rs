@@ -144,5 +144,6 @@ fn multiclass_detector_names_families() {
     match detector.classify(&worm_row.features) {
         Verdict::Malware(family) => assert!(family.is_malware()),
         Verdict::Benign => {} // an individual window may read benign
+        Verdict::Abstain => panic!("the raw path never abstains"),
     }
 }

@@ -4,8 +4,8 @@
 use hbmd::core::{to_binary_dataset, to_multiclass_dataset};
 use hbmd::malware::{MultiEngineLabeler, SampleCatalog};
 use hbmd::ml::{
-    cross_validate, AdaBoostM1, Bagging, Classifier, DecisionStump, Evaluation, J48,
-    MinMaxNormalize, OneR, RandomForest, Standardize,
+    cross_validate, AdaBoostM1, Bagging, Classifier, DecisionStump, Evaluation, MinMaxNormalize,
+    OneR, RandomForest, Standardize, J48,
 };
 use hbmd::perf::{Collector, CollectorConfig, HpcDataset};
 
@@ -46,8 +46,7 @@ fn filters_do_not_change_threshold_learners() {
     let mut normalized = OneR::new();
     normalized.fit(&minmax.transform(&train)).expect("fit");
     // Min-max clamps test outliers, so allow a small delta.
-    let normalized_accuracy =
-        Evaluation::of(&normalized, &minmax.transform(&test)).accuracy();
+    let normalized_accuracy = Evaluation::of(&normalized, &minmax.transform(&test)).accuracy();
     assert!((raw_accuracy - normalized_accuracy).abs() < 0.05);
 }
 

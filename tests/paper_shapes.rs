@@ -16,11 +16,15 @@ fn figure_13_reduction_hurts_little() {
     let rows = binary::accuracy_comparison(&config()).expect("fig13");
     // Every classifier usefully detects with 8 features...
     for row in &rows {
-        assert!(row.accuracy_top8 > 0.6, "{}: {}", row.scheme, row.accuracy_top8);
+        assert!(
+            row.accuracy_top8 > 0.6,
+            "{}: {}",
+            row.scheme,
+            row.accuracy_top8
+        );
     }
     // ...and the average 8->4 cost is a dip, not a collapse.
-    let mean_cost: f64 =
-        rows.iter().map(|r| r.reduction_cost()).sum::<f64>() / rows.len() as f64;
+    let mean_cost: f64 = rows.iter().map(|r| r.reduction_cost()).sum::<f64>() / rows.len() as f64;
     assert!(mean_cost < 0.15, "mean 8->4 cost {mean_cost}");
 }
 
@@ -31,7 +35,11 @@ fn figures_14_to_16_hardware_story() {
 
     // Figure 14: the MLP is the area hog.
     let mlp_area = get(ClassifierKind::Mlp).top8.report.area_units();
-    for light in [ClassifierKind::OneR, ClassifierKind::JRip, ClassifierKind::J48] {
+    for light in [
+        ClassifierKind::OneR,
+        ClassifierKind::JRip,
+        ClassifierKind::J48,
+    ] {
         assert!(get(light).top8.report.area_units() < mlp_area);
     }
 
@@ -135,6 +143,9 @@ fn figures_9_to_12_scatters_show_structure() {
         let points = pca::scatter(&config(), class).expect("scatter");
         let malware = points.iter().filter(|p| p.malware).count();
         let benign = points.len() - malware;
-        assert!(malware > 0 && benign > 0, "{class}: both populations plotted");
+        assert!(
+            malware > 0 && benign > 0,
+            "{class}: both populations plotted"
+        );
     }
 }

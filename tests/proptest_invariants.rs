@@ -1,14 +1,30 @@
 //! Property-based tests on the suite's core invariants, spanning the
-//! counter algebra, the cache model, dataset handling, PCA, and the
-//! classifier contract.
+//! counter algebra, the cache model, dataset handling, PCA, the
+//! classifier contract, and the fault-injection/sanitisation pair.
 
+use hbmd::core::Sanitizer;
 use hbmd::events::{CounterSet, FeatureVector, HpcEvent};
-use hbmd::ml::{Classifier, Dataset, J48, Mlr, OneR, Pca};
+use hbmd::malware::{SampleCatalog, SampleId};
+use hbmd::ml::{Classifier, Dataset, Mlr, OneR, Pca, J48};
+use hbmd::perf::{Collector, CollectorConfig, FaultInjector, FaultPlan};
 use hbmd::uarch::{Cache, CacheConfig, Cpu, CpuConfig, StreamParams, SyntheticStream};
 use proptest::prelude::*;
 
 fn arb_counts() -> impl Strategy<Value = [u64; HpcEvent::COUNT]> {
     prop::array::uniform16(0u64..1_000_000)
+}
+
+/// An f64 that may be anything the pipeline could conceivably emit:
+/// plain magnitudes, negatives, zero, huge values, NaN and infinities.
+fn arb_hostile_f64() -> impl Strategy<Value = f64> {
+    (0u8..8, -1.0e15f64..1.0e15).prop_map(|(tag, v)| match tag {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -v.abs(),
+        _ => v,
+    })
 }
 
 proptest! {
@@ -120,6 +136,60 @@ proptest! {
         let mut mlr = Mlr::with_schedule(30, 0.5);
         mlr.fit(&data).expect("fit");
         prop_assert!(mlr.predict(&[probe]) < 2);
+    }
+
+    #[test]
+    fn sanitizer_never_panics_and_never_emits_garbage(
+        hostile in prop::array::uniform16(arb_hostile_f64()),
+        max_repair in 0usize..17,
+    ) {
+        // Fitting must tolerate corrupt training rows too, so fit on a
+        // tiny clean collection — cheap enough to redo per case.
+        let catalog = SampleCatalog::scaled(0.005, 11);
+        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let sanitizer = Sanitizer::fit(&dataset).with_max_repair(max_repair);
+
+        let window = FeatureVector::from_slice(&hostile).expect("16 wide");
+        let outcome = sanitizer.sanitize(&window);
+        // Whatever came in, anything handed onward is finite and
+        // non-negative.
+        if let Some(features) = outcome.features() {
+            prop_assert!(features
+                .as_slice()
+                .iter()
+                .all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_byte_identical_per_seed(
+        seed in 0u64..100_000,
+        rate in 0.01f64..1.0,
+        sample_id in 0u32..5_000,
+        attempt in 0u32..4,
+    ) {
+        let plan = FaultPlan::uniform(rate, seed);
+        let sample = SampleId(sample_id);
+        let windows: Vec<FeatureVector> = (0..6)
+            .map(|i| {
+                let counts: Vec<f64> = (0..HpcEvent::COUNT)
+                    .map(|j| ((i * 31 + j * 7) % 997) as f64)
+                    .collect();
+                FeatureVector::from_slice(&counts).expect("16 wide")
+            })
+            .collect();
+
+        let run = |windows: Vec<FeatureVector>| {
+            let mut injector = FaultInjector::for_sample(&plan, sample, attempt);
+            let out = injector.apply(windows);
+            (out, *injector.counts())
+        };
+        let (out_a, counts_a) = run(windows.clone());
+        let (out_b, counts_b) = run(windows);
+        // NaN != NaN, so compare bit patterns via Debug (f64's Debug
+        // round-trips bits).
+        prop_assert_eq!(format!("{out_a:?}"), format!("{out_b:?}"));
+        prop_assert_eq!(counts_a, counts_b);
     }
 
     #[test]

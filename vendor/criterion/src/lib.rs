@@ -1,0 +1,216 @@
+//! An offline subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking API: enough for `criterion_group!`/`criterion_main!`
+//! benches with groups, throughput annotation, and parameterised IDs.
+//!
+//! Timing is a simple warmup + sampled-mean loop printed to stdout —
+//! adequate for relative comparisons in this workspace, with none of
+//! real criterion's statistics. Swap the path dependency for crates.io
+//! `criterion` to get the full harness; the bench sources compile
+//! unchanged.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            sample_size: 10,
+            throughput: None,
+        };
+        group.bench_function(id, &mut f);
+        self
+    }
+}
+
+/// Units processed per iteration, for reporting rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark with a parameter rendered into the label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as real criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time `f` under the label `id`.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Time `f` with an input value, criterion-style.
+    pub fn bench_with_input<I: Display, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; parity with criterion).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("  {label}: no samples");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let mut line = format!("  {label}: mean {mean:?} over {} samples", samples.len());
+        if let Some(throughput) = self.throughput {
+            let per_s = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+            match throughput {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" ({:.0} elem/s)", per_s(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(" ({:.0} B/s)", per_s(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Runs the closure under timing.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one warmup call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_without_panicking() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("train", 128).to_string(), "train/128");
+    }
+}

@@ -1,0 +1,256 @@
+//! An offline mini re-implementation of the
+//! [`proptest`](https://crates.io/crates/proptest) API subset the hbmd
+//! workspace uses: the [`proptest!`] macro, `prop_assert*` macros,
+//! [`Strategy`] with `prop_map`, range strategies, tuple composition,
+//! and the `prop::{collection, array, sample}` constructors.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the generated inputs
+//!   left to the assertion message,
+//! * deterministic seeding — each test's RNG is seeded from a hash of
+//!   the test name, so failures reproduce across runs and machines,
+//! * strategies are plain generators (`Strategy::new_value`), not
+//!   value trees.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prop;
+
+/// Everything a proptest-style test module needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG driving generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a), so every run of a given test
+    /// explores the same cases.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+/// A generator of values of an output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// A constant strategy: always yields clones of one value (`Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// The body of `proptest!`: expands each test into a seeded
+/// case-generation loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    let ($($arg,)*) =
+                        ($($crate::Strategy::new_value(&($strat), &mut rng),)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(
+            pair in (0u32..5, 10u32..20).prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!((10..25).contains(&pair));
+        }
+
+        #[test]
+        fn collections_and_select(
+            v in prop::collection::vec(0u8..4, 1..9),
+            pick in prop::sample::select(vec!['a', 'b', 'c']),
+            arr in prop::array::uniform16(0u8..2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert!(['a', 'b', 'c'].contains(&pick));
+            prop_assert_eq!(arr.len(), 16);
+        }
+    }
+
+    #[test]
+    fn same_test_name_generates_identical_streams() {
+        let strat = 0u64..1_000_000;
+        let mut a = TestRng::for_test("stable");
+        let mut b = TestRng::for_test("stable");
+        for _ in 0..50 {
+            assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        }
+    }
+}

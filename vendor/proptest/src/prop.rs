@@ -1,0 +1,121 @@
+//! The `prop::` constructor namespace: `collection::vec`,
+//! `array::uniform16`, `sample::select`.
+
+use crate::{Strategy, TestRng};
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+    use rand::Rng;
+
+    /// How many elements a generated collection holds.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many.
+        Fixed(usize),
+        /// Uniform within `[min, max)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            match *self {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Range(lo, hi) => rng.rng().gen_range(lo..hi),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element`, sized by `size` (a `usize`
+    /// for exact length or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::*;
+
+    /// Strategy for `[S::Value; 16]`.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray16<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for UniformArray16<S> {
+        type Value = [S::Value; 16];
+
+        fn new_value(&self, rng: &mut TestRng) -> [S::Value; 16] {
+            core::array::from_fn(|_| self.element.new_value(rng))
+        }
+    }
+
+    /// Sixteen independent draws from `element`.
+    pub fn uniform16<S: Strategy>(element: S) -> UniformArray16<S> {
+        UniformArray16 { element }
+    }
+}
+
+/// Strategies drawing from explicit candidate sets.
+pub mod sample {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    /// Strategy choosing uniformly from a fixed pool.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.options
+                .choose(rng.rng())
+                .expect("select() needs at least one option")
+                .clone()
+        }
+    }
+
+    /// Choose uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Generation panics when `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+}

@@ -1,0 +1,286 @@
+//! Distributions: [`Standard`], [`WeightedIndex`], and the uniform
+//! range samplers behind [`Rng::gen_range`](crate::Rng::gen_range).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: full-width integers, `[0, 1)`
+/// floats, fair bools.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling (`gen_range` support).
+pub mod uniform {
+    use super::super::RngCore;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Sample from the half-open range `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Sample from the closed range `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range-like arguments accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_single_inclusive(low, high, rng)
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($ty:ty, $uty:ty, $large:ty, $wide:ty, $gen:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    let range = high.wrapping_sub(low) as $uty as $large;
+                    // Lemire: accept while the low product half falls in
+                    // the unbiased zone.
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$gen() as $large;
+                        let m = (v as $wide) * (range as $wide);
+                        let lo = m as $large;
+                        let hi = (m >> <$large>::BITS) as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    let range = (high.wrapping_sub(low) as $uty as $large).wrapping_add(1);
+                    if range == 0 {
+                        // The full integer domain: every word is valid.
+                        return rng.$gen() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$gen() as $large;
+                        let m = (v as $wide) * (range as $wide);
+                        let lo = m as $large;
+                        let hi = (m >> <$large>::BITS) as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int!(u32, u32, u32, u64, next_u32);
+    uniform_int!(i32, u32, u32, u64, next_u32);
+    uniform_int!(u64, u64, u64, u128, next_u64);
+    uniform_int!(i64, u64, u64, u128, next_u64);
+    uniform_int!(usize, usize, u64, u128, next_u64);
+    uniform_int!(u8, u8, u32, u64, next_u32);
+    uniform_int!(u16, u16, u32, u64, next_u32);
+
+    macro_rules! uniform_float {
+        ($ty:ty, $bits_to_discard:expr, $exponent_bits:expr, $gen:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    let scale = high - low;
+                    // Mantissa bits placed in [1, 2), shifted to [0, 1).
+                    let value1_2 =
+                        <$ty>::from_bits($exponent_bits | (rng.$gen() >> $bits_to_discard));
+                    let value0_1 = value1_2 - 1.0;
+                    value0_1 * scale + low
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    Self::sample_single(low, high, rng)
+                }
+            }
+        };
+    }
+
+    uniform_float!(f64, 12u32, 1023u64 << 52, next_u64);
+    uniform_float!(f32, 9u32, 127u32 << 23, next_u32);
+}
+
+/// Distribution over `0..weights.len()` proportional to the weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Errors constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or non-finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+impl WeightedIndex {
+    /// Build from an iterator of non-negative `f64` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError`] when empty, when any weight is
+    /// negative or non-finite, or when all weights are zero.
+    pub fn new<I>(weights: I) -> Result<WeightedIndex, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: core::borrow::Borrow<f64>,
+    {
+        use core::borrow::Borrow;
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(WeightedError::InvalidWeight);
+            }
+            cumulative.push(total);
+            total += w;
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        // The stored prefix sums exclude the final total; index i wins
+        // when the draw lands in [cumulative[i], cumulative[i+1]).
+        cumulative.remove(0);
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let chosen = uniform::SampleUniform::sample_single(0.0, self.total, rng);
+        self.cumulative.partition_point(|&w| w <= chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let weights = vec![0.0, 1.0, 3.0];
+        let dist = WeightedIndex::new(&weights).expect("valid weights");
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..4_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero weight never drawn");
+        assert!(counts[2] > 2 * counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -2.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Sequence helpers: [`SliceRandom`].
+
+use crate::distributions::uniform::SampleUniform;
+use crate::RngCore;
+
+/// Sample a uniform index below `ubound`, using 32-bit draws for small
+/// bounds exactly as rand 0.8 does (this keeps seeded shuffles on the
+/// familiar stream).
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        u32::sample_single(0, ubound as u32, rng) as usize
+    } else {
+        usize::sample_single(0, ubound, rng)
+    }
+}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut SmallRng::seed_from_u64(1));
+        b.shuffle(&mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        let mut c: Vec<u32> = (0..50).collect();
+        c.shuffle(&mut SmallRng::seed_from_u64(2));
+        assert_ne!(a, c, "different seeds shuffle differently");
+    }
+
+    #[test]
+    fn choose_covers_the_slice() {
+        let items = [1, 2, 3, 4];
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &v = items.choose(&mut rng).expect("non-empty");
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(Vec::<i32>::new().choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! An offline facade over the [`serde`](https://serde.rs) API surface
+//! the hbmd workspace touches.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors this shim. The workspace only ever *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` to declare them
+//! serialisation-ready — no serialisation format crate (serde_json,
+//! bincode, …) is in the dependency tree, so no derive body is ever
+//! exercised. The derive macros here therefore expand to nothing,
+//! keeping every annotation source-compatible with real serde: swap
+//! this crate's path dependency for the crates.io `serde` and the
+//! workspace compiles unchanged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types declared serialisable (see crate docs: derives are
+/// declarative here, so no impls are generated or required).
+pub trait Serialize {}
+
+/// Marker for types declared deserialisable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialisation alias, mirroring serde's blanket.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! facade: the workspace's derive annotations are declarative (no
+//! serialisation format crate is linked), so the macros accept any
+//! item — including `#[serde(...)]` attributes — and expand to
+//! nothing. See `vendor/serde` for the rationale.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
