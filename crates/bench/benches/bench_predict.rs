@@ -16,7 +16,7 @@ fn training_data() -> Dataset {
 
 fn bench_prediction(c: &mut Criterion) {
     let data = training_data();
-    let probe: Vec<f64> = data.rows()[0].clone();
+    let probe: Vec<f64> = data.rows()[0].to_vec();
 
     let mut suite: Vec<TrainedModel> = Vec::new();
     for kind in ClassifierKind::binary_suite() {

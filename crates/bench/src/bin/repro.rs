@@ -2,7 +2,7 @@
 //! evaluation.
 //!
 //! ```text
-//! repro [--scale F] [--paper] <experiment>...
+//! repro [--scale F] [--paper] [--fast] [--threads N] [--bench-json PATH] <experiment>...
 //!
 //! experiments:
 //!   table1 table2 fig6 fig8 fig9 fig10 fig11 fig12
@@ -14,16 +14,26 @@
 //! ```
 //!
 //! `--scale F` shrinks the catalog to a fraction `F` (default 0.2);
-//! `--paper` runs the full 3,070-sample catalog. All randomness is
-//! seeded, so repeated runs at the same scale are identical.
+//! `--paper` runs the full 3,070-sample catalog; `--fast` is shorthand
+//! for `--scale 0.05` (CI smoke timing). `--threads N` sets both the
+//! collector's and the experiment layer's worker count — results are
+//! byte-identical at any value. All randomness is seeded, so repeated
+//! runs at the same scale are identical.
+//!
+//! Each run also writes `BENCH_repro.json` (path override:
+//! `--bench-json`): wall-clock per experiment, thread counts, and the
+//! collection-cache hit/miss counters. Collection is memoized in a
+//! run-local [`CollectCache`], so the `misses` counter equals the
+//! number of *distinct* collector configurations the run touched.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use hbmd_bench::{config_at_scale, pct, TextTable};
+use hbmd_bench::{config_at_scale, pct, BenchReport, PhaseTiming, TextTable};
 use hbmd_core::experiments::{
     self, binary, ensemble, hardware, latency, multiclass, pca, robustness, roc, ExperimentConfig,
 };
-use hbmd_core::{to_binary_dataset, ClassifierKind, FeaturePlan, FeatureSet};
+use hbmd_core::{to_binary_dataset, ClassifierKind, CollectCache, FeaturePlan, FeatureSet};
 use hbmd_fpga::SynthConfig;
 use hbmd_malware::AppClass;
 use hbmd_ml::{Classifier, Evaluation};
@@ -32,6 +42,8 @@ use hbmd_perf::PmuConfig;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.2f64;
+    let mut threads: Option<usize> = None;
+    let mut bench_json = "BENCH_repro.json".to_owned();
     let mut experiments: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -44,6 +56,21 @@ fn main() -> ExitCode {
                 }
             },
             "--paper" => scale = 1.0,
+            "--fast" => scale = 0.05,
+            "--threads" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-json" => match iter.next() {
+                Some(path) => bench_json = path.clone(),
+                None => {
+                    eprintln!("--bench-json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -87,28 +114,65 @@ fn main() -> ExitCode {
         .collect();
     }
 
-    let config = config_at_scale(scale);
+    let mut config = config_at_scale(scale);
+    if let Some(n) = threads {
+        config.threads = n;
+        config.collector.threads = n;
+    }
     println!(
-        "# hbmd repro — catalog scale {scale} ({} samples), {} windows x {} instructions\n",
+        "# hbmd repro — catalog scale {scale} ({} samples), {} windows x {} instructions, {} threads\n",
         config.catalog().len(),
         config.collector.sampler.windows_per_sample,
         config.collector.sampler.instructions_per_window,
+        config.threads,
     );
 
+    // Run-local cache: its miss counter is exactly the number of
+    // distinct collector configurations this invocation collected.
+    let cache = CollectCache::new();
+    let started = Instant::now();
+    let mut report = BenchReport {
+        scale,
+        threads: config.threads,
+        collector_threads: config.collector.threads,
+        phases: Vec::with_capacity(experiments.len()),
+        cache_hits: 0,
+        cache_misses: 0,
+        total_ms: 0,
+    };
     for experiment in &experiments {
-        let result = run(experiment, &config);
+        let phase_started = Instant::now();
+        let result = run(experiment, &config, &cache);
         if let Err(e) = result {
             eprintln!("{experiment}: {e}");
             return ExitCode::FAILURE;
         }
+        report.phases.push(PhaseTiming {
+            name: experiment.clone(),
+            wall_ms: phase_started.elapsed().as_millis(),
+        });
         println!();
+    }
+    report.total_ms = started.elapsed().as_millis();
+    report.set_cache_stats(cache.stats());
+    match std::fs::write(&bench_json, report.to_json()) {
+        Ok(()) => eprintln!(
+            "wrote {bench_json} ({} collections for {} lookups, {} ms total)",
+            report.cache_misses,
+            report.cache_hits + report.cache_misses,
+            report.total_ms
+        ),
+        Err(e) => {
+            eprintln!("cannot write {bench_json}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
 
 fn print_usage() {
     println!(
-        "usage: repro [--scale F | --paper] <experiment>...\n\
+        "usage: repro [--scale F | --paper | --fast] [--threads N] [--bench-json PATH] <experiment>...\n\
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
@@ -116,39 +180,43 @@ fn print_usage() {
     );
 }
 
-fn run(experiment: &str, config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    experiment: &str,
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
-        "table1" => table1(config),
-        "fig6" => fig6(config),
-        "table2" => table2(config)?,
-        "fig8" => fig8(config)?,
-        "fig9" => scatter(config, AppClass::Rootkit, "Figure 9")?,
-        "fig10" => scatter(config, AppClass::Trojan, "Figure 10")?,
-        "fig11" => scatter(config, AppClass::Virus, "Figure 11")?,
-        "fig12" => scatter(config, AppClass::Worm, "Figure 12")?,
-        "fig13" => fig13(config)?,
-        "fig14" | "fig15" | "fig16" => hardware_figures(config, experiment)?,
-        "fig17" | "fig18" => multiclass_figures(config, experiment)?,
-        "fig19" => fig19(config)?,
-        "ablate-ensemble" => ablate_ensemble(config)?,
-        "roc" => roc_analysis(config)?,
-        "detect-latency" => detect_latency(config)?,
-        "robustness" => robustness_sweep(config)?,
-        "emit-hdl" => emit_hdl(config)?,
-        "ablate-prefetch" => ablate_prefetch(config)?,
-        "ablate-mux" => ablate_mux(config)?,
-        "ablate-noise" => ablate_noise(config)?,
-        "ablate-features" => ablate_features(config)?,
-        "ablate-mlp" => ablate_mlp(config)?,
+        "table1" => table1(config, cache),
+        "fig6" => fig6(config, cache),
+        "table2" => table2(config, cache)?,
+        "fig8" => fig8(config, cache)?,
+        "fig9" => scatter(config, cache, AppClass::Rootkit, "Figure 9")?,
+        "fig10" => scatter(config, cache, AppClass::Trojan, "Figure 10")?,
+        "fig11" => scatter(config, cache, AppClass::Virus, "Figure 11")?,
+        "fig12" => scatter(config, cache, AppClass::Worm, "Figure 12")?,
+        "fig13" => fig13(config, cache)?,
+        "fig14" | "fig15" | "fig16" => hardware_figures(config, cache, experiment)?,
+        "fig17" | "fig18" => multiclass_figures(config, cache, experiment)?,
+        "fig19" => fig19(config, cache)?,
+        "ablate-ensemble" => ablate_ensemble(config, cache)?,
+        "roc" => roc_analysis(config, cache)?,
+        "detect-latency" => detect_latency(config, cache)?,
+        "robustness" => robustness_sweep(config, cache)?,
+        "emit-hdl" => emit_hdl(config, cache)?,
+        "ablate-prefetch" => ablate_prefetch(config, cache)?,
+        "ablate-mux" => ablate_mux(config, cache)?,
+        "ablate-noise" => ablate_noise(config, cache)?,
+        "ablate-features" => ablate_features(config, cache)?,
+        "ablate-mlp" => ablate_mlp(config, cache)?,
         other => return Err(format!("unknown experiment `{other}`").into()),
     }
     Ok(())
 }
 
-fn table1(config: &ExperimentConfig) {
+fn table1(config: &ExperimentConfig, cache: &CollectCache) {
     println!("## Table 1: samples per application class");
     println!("paper: backdoor 452, rootkit 324, trojan 1169, virus 650, worm 149, benign 326 (3,070 total)");
-    let rows = experiments::census(config);
+    let rows = experiments::census_with(cache, config);
     let mut table = TextTable::new(vec!["class", "samples", "share", "dataset rows"]);
     let mut total = 0usize;
     for row in &rows {
@@ -169,10 +237,10 @@ fn table1(config: &ExperimentConfig) {
     print!("{}", table.render());
 }
 
-fn fig6(config: &ExperimentConfig) {
+fn fig6(config: &ExperimentConfig, cache: &CollectCache) {
     println!("## Figure 6: class distribution of the database");
     println!("paper: trojan-dominated, mirroring the in-the-wild distribution (Figure 3)");
-    let rows = experiments::census(config);
+    let rows = experiments::census_with(cache, config);
     let mut table = TextTable::new(vec!["class", "share", "bar"]);
     for row in &rows {
         let bar = "#".repeat((row.share * 60.0).round() as usize);
@@ -181,10 +249,13 @@ fn fig6(config: &ExperimentConfig) {
     print!("{}", table.render());
 }
 
-fn table2(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn table2(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Table 2: PCA-reduced features per class");
     println!("paper: 4 common features + custom 8 per malware class");
-    let result = pca::table2(config)?;
+    let result = pca::table2_with(cache, config)?;
     println!("common features: {}", result.common.join(", "));
     let mut table = TextTable::new(vec!["class", "custom top-8 features"]);
     for (class, features) in &result.per_class {
@@ -194,9 +265,9 @@ fn table2(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn fig8(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn fig8(config: &ExperimentConfig, cache: &CollectCache) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Figure 8: PCA eigen summary (WEKA PrincipalComponents -R 0.95)");
-    let summary = pca::eigen_summary(config)?;
+    let summary = pca::eigen_summary_with(cache, config)?;
     println!(
         "components for 95% variance: {} of 16",
         summary.components_for_95
@@ -223,11 +294,12 @@ fn fig8(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
 
 fn scatter(
     config: &ExperimentConfig,
+    cache: &CollectCache,
     class: AppClass,
     figure: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
     println!("## {figure}: PCA plot for {class} (top-2 components, class vs benign)");
-    let points = pca::scatter(config, class)?;
+    let points = pca::scatter_with(cache, config, class)?;
     // Render as a coarse ASCII density plot: 'b' benign, 'm' malware,
     // '*' both.
     let (width, height) = (64usize, 20usize);
@@ -275,10 +347,13 @@ fn scatter(
     Ok(())
 }
 
-fn fig13(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn fig13(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Figure 13: binary accuracy, 16 vs PCA top-8 vs top-4 features");
     println!("paper: most classifiers dip slightly at 4 features; J48/OneR barely move");
-    let rows = binary::accuracy_comparison(config)?;
+    let rows = binary::accuracy_comparison_with(cache, config)?;
     let mut table = TextTable::new(vec![
         "classifier",
         "16 features",
@@ -301,9 +376,10 @@ fn fig13(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
 
 fn hardware_figures(
     config: &ExperimentConfig,
+    cache: &CollectCache,
     which: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let rows = hardware::comparison(config, &SynthConfig::default())?;
+    let rows = hardware::comparison_with(cache, config, &SynthConfig::default())?;
     match which {
         "fig14" => {
             println!("## Figure 14: FPGA area comparison (8 vs 4 features)");
@@ -373,9 +449,10 @@ fn hardware_figures(
 
 fn multiclass_figures(
     config: &ExperimentConfig,
+    cache: &CollectCache,
     which: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let rows = multiclass::accuracy_comparison(config)?;
+    let rows = multiclass::accuracy_comparison_with(cache, config)?;
     if which == "fig17" {
         println!("## Figure 17: average multiclass accuracy (MLR / MLP / SVM)");
         println!("paper: the neural network (MLP) leads the multiclass comparison");
@@ -402,10 +479,13 @@ fn multiclass_figures(
     Ok(())
 }
 
-fn fig19(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn fig19(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Figure 19: PCA-assisted MLR vs normal MLR");
     println!("paper: custom per-class 8-feature sets gain ~7pp over non-custom features");
-    let result = multiclass::pca_assisted_comparison(config)?;
+    let result = multiclass::pca_assisted_comparison_with(cache, config)?;
     let mut table = TextTable::new(vec!["variant", "accuracy"]);
     table.row(vec![
         "MLR, all 16 features (context)".to_owned(),
@@ -437,10 +517,13 @@ fn fig19(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn detect_latency(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn detect_latency(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Extension: run-time detection latency (windows to alarm)");
     println!("(J48 detector, 4-window vote, 3-vote threshold, unseen specimens)");
-    let rows = latency::windows_to_alarm(config, 8, 32)?;
+    let rows = latency::windows_to_alarm_with(cache, config, 8, 32)?;
     let mut table = TextTable::new(vec![
         "family",
         "detected",
@@ -467,7 +550,10 @@ fn detect_latency(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::E
     Ok(())
 }
 
-fn robustness_sweep(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn robustness_sweep(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Extension: graceful degradation under collection faults");
     println!("(detectors trained clean, evaluated through a fault-injected pipeline)");
     let schemes = [
@@ -477,7 +563,7 @@ fn robustness_sweep(config: &ExperimentConfig) -> Result<(), Box<dyn std::error:
         ClassifierKind::NaiveBayes,
     ];
     let rates = [0.0, 0.02, 0.05, 0.1, 0.2];
-    let rows = robustness::degradation_sweep(config, &schemes, &rates)?;
+    let rows = robustness::degradation_sweep_with(cache, config, &schemes, &rates)?;
     let mut table = TextTable::new(vec![
         "fault rate",
         "classifier",
@@ -506,10 +592,13 @@ fn robustness_sweep(config: &ExperimentConfig) -> Result<(), Box<dyn std::error:
     Ok(())
 }
 
-fn roc_analysis(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn roc_analysis(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Extension: ROC analysis of the score-producing detectors");
     println!("(a deployed monitor is tuned to a false-positive budget, not peak accuracy)");
-    let rows = roc::comparison(config)?;
+    let rows = roc::comparison_with(cache, config)?;
     let mut table = TextTable::new(vec!["scheme", "AUC", "TPR @ 1% FPR", "TPR @ 5% FPR"]);
     for row in &rows {
         table.row(vec![
@@ -523,10 +612,13 @@ fn roc_analysis(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Err
     Ok(())
 }
 
-fn emit_hdl(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn emit_hdl(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## SystemVerilog skeletons for the trained rule learners");
-    let dataset = config.collect();
-    let (train_hpc, _) = dataset.split(0.7, config.split_seed);
+    let collection = cache.collect(config)?;
+    let (train_hpc, _) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let indices = plan.resolve(FeatureSet::Top(8))?;
     let train = to_binary_dataset(&train_hpc).select_features(&indices)?;
@@ -539,10 +631,13 @@ fn emit_hdl(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>>
     Ok(())
 }
 
-fn ablate_ensemble(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_ensemble(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Extension: ensemble learning (RAID'15 / DAC'18 follow-ups)");
     println!("(single learners vs boosting, bagging and random forests, top-8 features)");
-    let rows = ensemble::comparison(config)?;
+    let rows = ensemble::comparison_with(cache, config)?;
     let mut table = TextTable::new(vec![
         "scheme",
         "accuracy",
@@ -563,7 +658,10 @@ fn ablate_ensemble(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
     Ok(())
 }
 
-fn ablate_prefetch(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_prefetch(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Ablation: L1D next-line prefetcher vs counter signal");
     println!("(prefetching shifts traffic from demand misses to prefetch references)");
     let mut table = TextTable::new(vec!["cpu model", "J48 accuracy", "Logistic accuracy"]);
@@ -579,8 +677,8 @@ fn ablate_prefetch(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
     ] {
         let mut variant = config.clone();
         variant.collector.sampler.cpu = cpu;
-        let dataset = variant.collect();
-        let (train_hpc, test_hpc) = dataset.split(0.7, variant.split_seed);
+        let collection = cache.collect(&variant)?;
+        let (train_hpc, test_hpc) = collection.dataset.split(0.7, variant.split_seed);
         let train = to_binary_dataset(&train_hpc);
         let test = to_binary_dataset(&test_hpc);
         let mut accs = Vec::new();
@@ -595,7 +693,10 @@ fn ablate_prefetch(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
     Ok(())
 }
 
-fn ablate_mux(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_mux(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Ablation: PMU multiplexing pressure vs detection accuracy");
     println!("(design note: counter scaling noise is part of the measured signal)");
     let variants: [(&str, Option<PmuConfig>); 3] = [
@@ -613,8 +714,8 @@ fn ablate_mux(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error
     for (label, pmu) in variants {
         let mut variant = config.clone();
         variant.collector.sampler.pmu = pmu;
-        let dataset = variant.collect();
-        let (train_hpc, test_hpc) = dataset.split(0.7, variant.split_seed);
+        let collection = cache.collect(&variant)?;
+        let (train_hpc, test_hpc) = collection.dataset.split(0.7, variant.split_seed);
         let train = to_binary_dataset(&train_hpc);
         let test = to_binary_dataset(&test_hpc);
         let mut accs = Vec::new();
@@ -629,15 +730,18 @@ fn ablate_mux(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error
     Ok(())
 }
 
-fn ablate_noise(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_noise(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Ablation: container isolation vs shared-host noise");
     println!("(the LXC containers' purpose: keep host activity out of the counters)");
     let mut table = TextTable::new(vec!["host noise ratio", "J48 accuracy"]);
     for noise in [0.0, 0.5, 1.0, 2.0] {
         let mut variant = config.clone();
         variant.collector.sampler.host_noise = noise;
-        let dataset = variant.collect();
-        let (train_hpc, test_hpc) = dataset.split(0.7, variant.split_seed);
+        let collection = cache.collect(&variant)?;
+        let (train_hpc, test_hpc) = collection.dataset.split(0.7, variant.split_seed);
         let train = to_binary_dataset(&train_hpc);
         let test = to_binary_dataset(&test_hpc);
         let mut model = ClassifierKind::J48.instantiate();
@@ -651,10 +755,13 @@ fn ablate_noise(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Err
     Ok(())
 }
 
-fn ablate_features(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_features(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Ablation: feature-count sweep (beyond the paper's 8 and 4)");
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let train_full = to_binary_dataset(&train_hpc);
     let test_full = to_binary_dataset(&test_hpc);
@@ -685,10 +792,13 @@ fn ablate_features(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::
     Ok(())
 }
 
-fn ablate_mlp(config: &ExperimentConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_mlp(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("## Ablation: MLP hidden width vs accuracy and area");
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let train = to_binary_dataset(&train_hpc);
     let test = to_binary_dataset(&test_hpc);
     let mut table = TextTable::new(vec!["hidden units", "accuracy", "area", "latency cycles"]);

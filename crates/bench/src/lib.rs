@@ -1,5 +1,10 @@
 //! Shared plumbing for the `repro` binary and the Criterion benches:
-//! experiment-scale handling and plain-text table rendering.
+//! experiment-scale handling, plain-text table rendering, and the
+//! machine-readable timing report (`BENCH_repro.json`).
+
+mod report;
+
+pub use report::{BenchReport, PhaseTiming};
 
 use hbmd_core::experiments::ExperimentConfig;
 use hbmd_perf::CollectorConfig;
@@ -21,6 +26,7 @@ pub fn config_at_scale(scale: f64) -> ExperimentConfig {
         catalog_seed: 2018,
         collector: CollectorConfig::paper(),
         split_seed: 42,
+        threads: hbmd_core::par::default_threads(),
     }
 }
 

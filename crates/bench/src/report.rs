@@ -1,0 +1,161 @@
+//! Machine-readable timing report for the `repro` harness.
+//!
+//! `repro` writes a `BENCH_repro.json` next to its text output so CI
+//! can track wall-clock per experiment, the thread count, and the
+//! collection-cache hit/miss counters (the acceptance check that each
+//! distinct collector configuration was collected exactly once). The
+//! workspace vendors no JSON serializer, so the report renders itself.
+
+use hbmd_core::CacheStats;
+
+/// Wall-clock for one experiment phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Experiment name as passed on the command line.
+    pub name: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: u128,
+}
+
+/// The full `BENCH_repro.json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Catalog scale the run used.
+    pub scale: f64,
+    /// Experiment-layer worker threads.
+    pub threads: usize,
+    /// Collector worker threads.
+    pub collector_threads: usize,
+    /// Per-experiment wall-clock, in run order.
+    pub phases: Vec<PhaseTiming>,
+    /// Collection-cache counters for the whole run.
+    pub cache_hits: usize,
+    /// See `cache_hits`.
+    pub cache_misses: usize,
+    /// End-to-end wall-clock milliseconds.
+    pub total_ms: u128,
+}
+
+impl BenchReport {
+    /// Record the cache counters.
+    pub fn set_cache_stats(&mut self, stats: CacheStats) {
+        self.cache_hits = stats.hits;
+        self.cache_misses = stats.misses;
+    }
+
+    /// Render the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.phases.len() * 48);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", json_f64(self.scale)));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"collector_threads\": {},\n",
+            self.collector_threads
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, phase) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"wall_ms\": {}}}{}\n",
+                json_string(&phase.name),
+                phase.wall_ms,
+                if i + 1 < self.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+            self.cache_hits, self.cache_misses
+        ));
+        out.push_str(&format!("  \"total_ms\": {}\n", self.total_ms));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number for a finite `f64` (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            scale: 0.05,
+            threads: 4,
+            collector_threads: 8,
+            phases: vec![
+                PhaseTiming {
+                    name: "fig13".to_owned(),
+                    wall_ms: 1200,
+                },
+                PhaseTiming {
+                    name: "roc \"quoted\"".to_owned(),
+                    wall_ms: 34,
+                },
+            ],
+            cache_hits: 12,
+            cache_misses: 1,
+            total_ms: 1234,
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_json() {
+        let json = sample().to_json();
+        assert!(json.contains("\"scale\": 0.05"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("{\"name\": \"fig13\", \"wall_ms\": 1200},"));
+        assert!(json.contains("\"roc \\\"quoted\\\"\""));
+        assert!(json.contains("\"cache\": {\"hits\": 12, \"misses\": 1}"));
+        assert!(json.contains("\"total_ms\": 1234"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_control_characters_and_non_finite_numbers() {
+        assert_eq!(json_string("a\nb\t\u{1}"), "\"a\\nb\\t\\u0001\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.2), "0.2");
+    }
+
+    #[test]
+    fn cache_stats_transfer() {
+        let mut report = sample();
+        report.set_cache_stats(CacheStats { hits: 3, misses: 2 });
+        assert_eq!(report.cache_hits, 3);
+        assert_eq!(report.cache_misses, 2);
+    }
+}

@@ -1,11 +1,13 @@
 //! Figure 13: binary detection accuracy across the classifier suite
 //! with PCA-reduced 8- and 4-feature inputs.
 
+use hbmd_ml::par::try_par_map;
 use hbmd_ml::{Classifier, Evaluation};
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
 use crate::error::CoreError;
+use crate::experiments::cache::CollectCache;
 use crate::experiments::ExperimentConfig;
 use crate::features::{FeaturePlan, FeatureSet};
 use crate::suite::ClassifierKind;
@@ -38,34 +40,54 @@ impl BinaryAccuracyRow {
 ///
 /// Propagates collection, feature-plan, and training errors.
 pub fn accuracy_comparison(config: &ExperimentConfig) -> Result<Vec<BinaryAccuracyRow>, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    accuracy_comparison_with(CollectCache::global(), config)
+}
+
+/// [`accuracy_comparison`] against an explicit [`CollectCache`].
+///
+/// The three feature-reduced train/test pairs are materialized once,
+/// outside the scheme loop, and the eight schemes train in parallel on
+/// `config.threads` workers (byte-identical results at any count).
+///
+/// # Errors
+///
+/// Propagates collection, feature-plan, and training errors.
+pub fn accuracy_comparison_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+) -> Result<Vec<BinaryAccuracyRow>, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let train_full = to_binary_dataset(&train_hpc);
     let test_full = to_binary_dataset(&test_hpc);
 
-    let mut rows = Vec::new();
-    for scheme in ClassifierKind::binary_suite() {
+    // Feature selection depends only on the plan, not on the scheme:
+    // project each set once instead of once per scheme.
+    let mut splits = Vec::with_capacity(3);
+    for set in [FeatureSet::Full16, FeatureSet::Top(8), FeatureSet::Top(4)] {
+        let indices = plan.resolve(set)?;
+        splits.push((
+            train_full.select_features(&indices)?,
+            test_full.select_features(&indices)?,
+        ));
+    }
+
+    let schemes = ClassifierKind::binary_suite();
+    try_par_map(&schemes, config.threads, |_, &scheme| {
         let mut accuracies = [0.0f64; 3];
-        for (slot, set) in [FeatureSet::Full16, FeatureSet::Top(8), FeatureSet::Top(4)]
-            .into_iter()
-            .enumerate()
-        {
-            let indices = plan.resolve(set)?;
-            let train = train_full.select_features(&indices)?;
-            let test = test_full.select_features(&indices)?;
+        for (slot, (train, test)) in splits.iter().enumerate() {
             let mut model = scheme.instantiate();
-            model.fit(&train)?;
-            accuracies[slot] = Evaluation::of(&model, &test).accuracy();
+            model.fit(train)?;
+            accuracies[slot] = Evaluation::of(&model, test).accuracy();
         }
-        rows.push(BinaryAccuracyRow {
+        Ok::<BinaryAccuracyRow, CoreError>(BinaryAccuracyRow {
             scheme,
             accuracy_full: accuracies[0],
             accuracy_top8: accuracies[1],
             accuracy_top4: accuracies[2],
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 #[cfg(test)]

@@ -4,11 +4,13 @@
 //! detection task.
 
 use hbmd_fpga::{synthesize, SynthConfig};
+use hbmd_ml::par::try_par_map;
 use hbmd_ml::{Classifier, Evaluation};
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
 use crate::error::CoreError;
+use crate::experiments::cache::CollectCache;
 use crate::experiments::ExperimentConfig;
 use crate::features::{FeaturePlan, FeatureSet};
 use crate::suite::ClassifierKind;
@@ -45,8 +47,22 @@ impl EnsembleRow {
 ///
 /// Propagates collection, training, and synthesis errors.
 pub fn comparison(config: &ExperimentConfig) -> Result<Vec<EnsembleRow>, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    comparison_with(CollectCache::global(), config)
+}
+
+/// [`comparison`] against an explicit [`CollectCache`]; the five
+/// schemes train, evaluate and synthesise in parallel on
+/// `config.threads` workers.
+///
+/// # Errors
+///
+/// Propagates collection, training, and synthesis errors.
+pub fn comparison_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+) -> Result<Vec<EnsembleRow>, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let indices = plan.resolve(FeatureSet::Top(8))?;
     let train = to_binary_dataset(&train_hpc).select_features(&indices)?;
@@ -60,20 +76,18 @@ pub fn comparison(config: &ExperimentConfig) -> Result<Vec<EnsembleRow>, CoreErr
         ClassifierKind::RandomForest,
     ];
     let synth = SynthConfig::default();
-    let mut rows = Vec::with_capacity(schemes.len());
-    for scheme in schemes {
+    try_par_map(&schemes, config.threads, |_, &scheme| {
         let mut model = scheme.instantiate();
         model.fit(&train)?;
         let accuracy = Evaluation::of(&model, &test).accuracy();
         let report = synthesize(&model.datapath()?, &synth);
-        rows.push(EnsembleRow {
+        Ok::<EnsembleRow, CoreError>(EnsembleRow {
             scheme,
             accuracy,
             area_units: report.area_units(),
             latency_cycles: report.latency_cycles,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 #[cfg(test)]

@@ -2,11 +2,13 @@
 //! classifier suite, with 8- and 4-feature PCA-reduced inputs.
 
 use hbmd_fpga::{synthesize, HwReport, SynthConfig};
+use hbmd_ml::par::try_par_map;
 use hbmd_ml::{Classifier, Evaluation};
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
 use crate::error::CoreError;
+use crate::experiments::cache::CollectCache;
 use crate::experiments::ExperimentConfig;
 use crate::features::{FeaturePlan, FeatureSet};
 use crate::suite::ClassifierKind;
@@ -51,35 +53,57 @@ pub fn comparison(
     config: &ExperimentConfig,
     synth: &SynthConfig,
 ) -> Result<Vec<HardwareRow>, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    comparison_with(CollectCache::global(), config, synth)
+}
+
+/// [`comparison`] against an explicit [`CollectCache`]; the two
+/// feature-reduced train/test pairs are materialized once and the
+/// eight schemes run in parallel on `config.threads` workers.
+///
+/// # Errors
+///
+/// Propagates collection, training, and synthesis errors.
+pub fn comparison_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+    synth: &SynthConfig,
+) -> Result<Vec<HardwareRow>, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let train_full = to_binary_dataset(&train_hpc);
     let test_full = to_binary_dataset(&test_hpc);
 
-    let mut rows = Vec::new();
-    for scheme in ClassifierKind::binary_suite() {
-        let point = |k: usize| -> Result<HardwarePoint, CoreError> {
-            let indices = plan.resolve(FeatureSet::Top(k))?;
-            let train = train_full.select_features(&indices)?;
-            let test = test_full.select_features(&indices)?;
+    let mut splits = Vec::with_capacity(2);
+    for k in [8usize, 4] {
+        let indices = plan.resolve(FeatureSet::Top(k))?;
+        splits.push((
+            k,
+            train_full.select_features(&indices)?,
+            test_full.select_features(&indices)?,
+        ));
+    }
+
+    let schemes = ClassifierKind::binary_suite();
+    try_par_map(&schemes, config.threads, |_, &scheme| {
+        let point = |slot: usize| -> Result<HardwarePoint, CoreError> {
+            let (k, train, test) = &splits[slot];
             let mut model = scheme.instantiate();
-            model.fit(&train)?;
-            let accuracy = Evaluation::of(&model, &test).accuracy();
+            model.fit(train)?;
+            let accuracy = Evaluation::of(&model, test).accuracy();
             let report = synthesize(&model.datapath()?, synth);
             Ok(HardwarePoint {
-                features: k,
+                features: *k,
                 accuracy,
                 report,
             })
         };
-        rows.push(HardwareRow {
+        Ok::<HardwareRow, CoreError>(HardwareRow {
             scheme,
-            top8: point(8)?,
-            top4: point(4)?,
-        });
-    }
-    Ok(rows)
+            top8: point(0)?,
+            top4: point(1)?,
+        })
+    })
 }
 
 #[cfg(test)]

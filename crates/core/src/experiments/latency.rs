@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::detector::DetectorBuilder;
 use crate::error::CoreError;
+use crate::experiments::cache::CollectCache;
 use crate::experiments::ExperimentConfig;
 use crate::features::FeatureSet;
 use crate::online::{OnlineDetector, OnlineVerdict};
@@ -61,16 +62,35 @@ pub fn windows_to_alarm(
     specimens_per_class: usize,
     max_windows: usize,
 ) -> Result<Vec<LatencyRow>, CoreError> {
+    windows_to_alarm_with(
+        CollectCache::global(),
+        config,
+        specimens_per_class,
+        max_windows,
+    )
+}
+
+/// [`windows_to_alarm`] against an explicit [`CollectCache`].
+///
+/// # Errors
+///
+/// Propagates collection, training, and sampler-configuration errors.
+pub fn windows_to_alarm_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+    specimens_per_class: usize,
+    max_windows: usize,
+) -> Result<Vec<LatencyRow>, CoreError> {
     if specimens_per_class == 0 || max_windows == 0 {
         return Err(CoreError::Config(
             "need at least one specimen and one window".to_owned(),
         ));
     }
-    let dataset = config.collect();
+    let collection = cache.collect(config)?;
     let detector = DetectorBuilder::new()
         .classifier(ClassifierKind::J48)
         .feature_set(FeatureSet::Top(8))
-        .train_binary(&dataset)?;
+        .train_binary(&collection.dataset)?;
 
     let sampler = Sampler::new(SamplerConfig {
         windows_per_sample: max_windows,

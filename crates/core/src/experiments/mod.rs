@@ -23,6 +23,7 @@
 //! | robustness extension | [`robustness::degradation_sweep`] |
 
 pub mod binary;
+pub mod cache;
 pub mod ensemble;
 pub mod hardware;
 pub mod latency;
@@ -32,8 +33,11 @@ pub mod robustness;
 pub mod roc;
 
 use hbmd_malware::{AppClass, SampleCatalog};
-use hbmd_perf::{Collector, CollectorConfig, HpcDataset};
+use hbmd_perf::{CollectorConfig, HpcDataset, PerfError};
 use serde::{Deserialize, Serialize};
+
+use cache::{CollectCache, Collection};
+use std::sync::Arc;
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +51,11 @@ pub struct ExperimentConfig {
     pub collector: CollectorConfig,
     /// Train/test split seed.
     pub split_seed: u64,
+    /// Worker threads for the experiment layer's training/evaluation
+    /// fan-out (1 = sequential). Results are byte-identical at any
+    /// thread count — see [`hbmd_ml::par::par_map`] — so this is a
+    /// throughput knob, never part of a cache key.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -58,6 +67,7 @@ impl ExperimentConfig {
             catalog_seed: 2018,
             collector: CollectorConfig::paper(),
             split_seed: 42,
+            threads: hbmd_ml::par::default_threads(),
         }
     }
 
@@ -68,6 +78,7 @@ impl ExperimentConfig {
             catalog_seed: 2018,
             collector: CollectorConfig::fast(),
             split_seed: 42,
+            threads: 1,
         }
     }
 
@@ -82,30 +93,32 @@ impl ExperimentConfig {
 
     /// Run the collection pipeline over the catalog.
     ///
-    /// Collection is deterministic, so results are memoized per
-    /// configuration: running several experiments against the same
-    /// config (as the `repro all` harness does) collects once.
+    /// Collection is deterministic, so results are memoized in the
+    /// process-wide [`CollectCache`]: running several experiments
+    /// against the same config (as the `repro all` harness does)
+    /// collects once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pipeline degrades past its failure threshold;
+    /// use [`ExperimentConfig::try_collect_with`] to handle that.
     pub fn collect(&self) -> HpcDataset {
-        use std::collections::HashMap;
-        use std::sync::Mutex;
-        static CACHE: Mutex<Option<HashMap<String, HpcDataset>>> = Mutex::new(None);
+        self.try_collect_with(CollectCache::global())
+            .expect("collection failed")
+            .dataset
+            .clone()
+    }
 
-        let key = format!("{self:?}");
-        if let Some(cached) = CACHE
-            .lock()
-            .expect("collection cache poisoned")
-            .get_or_insert_with(HashMap::new)
-            .get(&key)
-        {
-            return cached.clone();
-        }
-        let dataset = Collector::new(self.collector.clone()).collect(&self.catalog());
-        CACHE
-            .lock()
-            .expect("collection cache poisoned")
-            .get_or_insert_with(HashMap::new)
-            .insert(key, dataset.clone());
-        dataset
+    /// Run (or recall) the collection through an explicit cache,
+    /// surfacing the [`CollectionReport`](hbmd_perf::CollectionReport)
+    /// alongside the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collector-configuration errors and
+    /// [`PerfError::DegradedCollection`].
+    pub fn try_collect_with(&self, cache: &CollectCache) -> Result<Arc<Collection>, PerfError> {
+        cache.collect(self)
     }
 }
 
@@ -130,9 +143,19 @@ pub struct CensusRow {
 
 /// Table 1 and Figure 6: the sample census and class distribution.
 pub fn census(config: &ExperimentConfig) -> Vec<CensusRow> {
+    census_with(CollectCache::global(), config)
+}
+
+/// [`census`] against an explicit [`CollectCache`].
+///
+/// # Panics
+///
+/// Panics when the collection pipeline degrades past its failure
+/// threshold.
+pub fn census_with(cache: &CollectCache, config: &ExperimentConfig) -> Vec<CensusRow> {
     let catalog = config.catalog();
-    let dataset = config.collect();
-    let counts = dataset.class_counts();
+    let collection = cache.collect(config).expect("collection failed");
+    let counts = collection.dataset.class_counts();
     catalog
         .census()
         .into_iter()

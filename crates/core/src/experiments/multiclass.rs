@@ -2,11 +2,13 @@
 //! MLP and SVM, and the PCA-assisted variant.
 
 use hbmd_malware::AppClass;
+use hbmd_ml::par::try_par_map;
 use hbmd_ml::{Classifier, Evaluation, Mlr};
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_multiclass_dataset;
 use crate::error::CoreError;
+use crate::experiments::cache::CollectCache;
 use crate::experiments::ExperimentConfig;
 use crate::features::{FeaturePlan, FeatureSet};
 use crate::suite::ClassifierKind;
@@ -29,23 +31,35 @@ pub struct MulticlassRow {
 ///
 /// Propagates collection and training errors.
 pub fn accuracy_comparison(config: &ExperimentConfig) -> Result<Vec<MulticlassRow>, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    accuracy_comparison_with(CollectCache::global(), config)
+}
+
+/// [`accuracy_comparison`] against an explicit [`CollectCache`]; the
+/// three schemes train in parallel on `config.threads` workers.
+///
+/// # Errors
+///
+/// Propagates collection and training errors.
+pub fn accuracy_comparison_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+) -> Result<Vec<MulticlassRow>, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let train = to_multiclass_dataset(&train_hpc);
     let test = to_multiclass_dataset(&test_hpc);
 
-    let mut rows = Vec::new();
-    for scheme in ClassifierKind::multiclass_suite() {
+    let schemes = ClassifierKind::multiclass_suite();
+    try_par_map(&schemes, config.threads, |_, &scheme| {
         let mut model = scheme.instantiate();
         model.fit(&train)?;
         let evaluation = Evaluation::of(&model, &test);
-        rows.push(MulticlassRow {
+        Ok::<MulticlassRow, CoreError>(MulticlassRow {
             scheme,
             average_accuracy: evaluation.accuracy(),
             per_class: evaluation.per_class_recall(),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// The Figure 19 result.
@@ -215,8 +229,20 @@ impl Classifier for PcaAssistedMlr {
 ///
 /// Propagates collection, feature-plan, and training errors.
 pub fn pca_assisted_comparison(config: &ExperimentConfig) -> Result<PcaAssistedResult, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    pca_assisted_comparison_with(CollectCache::global(), config)
+}
+
+/// [`pca_assisted_comparison`] against an explicit [`CollectCache`].
+///
+/// # Errors
+///
+/// Propagates collection, feature-plan, and training errors.
+pub fn pca_assisted_comparison_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+) -> Result<PcaAssistedResult, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let train = to_multiclass_dataset(&train_hpc);
     let test = to_multiclass_dataset(&test_hpc);

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
 use crate::error::CoreError;
+use crate::experiments::cache::CollectCache;
 use crate::experiments::ExperimentConfig;
 use crate::features::{FeaturePlan, VARIANCE_RETAINED};
 
@@ -27,8 +28,17 @@ pub struct Table2 {
 ///
 /// Propagates collection and feature-plan errors.
 pub fn table2(config: &ExperimentConfig) -> Result<Table2, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, _) = dataset.split(0.7, config.split_seed);
+    table2_with(CollectCache::global(), config)
+}
+
+/// [`table2`] against an explicit [`CollectCache`].
+///
+/// # Errors
+///
+/// Propagates collection and feature-plan errors.
+pub fn table2_with(cache: &CollectCache, config: &ExperimentConfig) -> Result<Table2, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, _) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let common = plan
         .common_features(4)
@@ -64,8 +74,20 @@ pub struct EigenSummary {
 ///
 /// Propagates collection and PCA errors.
 pub fn eigen_summary(config: &ExperimentConfig) -> Result<EigenSummary, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, _) = dataset.split(0.7, config.split_seed);
+    eigen_summary_with(CollectCache::global(), config)
+}
+
+/// [`eigen_summary`] against an explicit [`CollectCache`].
+///
+/// # Errors
+///
+/// Propagates collection and PCA errors.
+pub fn eigen_summary_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+) -> Result<EigenSummary, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, _) = collection.dataset.split(0.7, config.split_seed);
     let data = to_binary_dataset(&train_hpc);
     let pca = Pca::fit(&data)?;
     let ranking = pca
@@ -100,13 +122,29 @@ pub struct ScatterPoint {
 /// Returns [`CoreError::Config`] for `AppClass::Benign` and propagates
 /// collection/PCA errors.
 pub fn scatter(config: &ExperimentConfig, class: AppClass) -> Result<Vec<ScatterPoint>, CoreError> {
+    scatter_with(CollectCache::global(), config, class)
+}
+
+/// [`scatter`] against an explicit [`CollectCache`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Config`] for `AppClass::Benign` and propagates
+/// collection/PCA errors.
+pub fn scatter_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+    class: AppClass,
+) -> Result<Vec<ScatterPoint>, CoreError> {
     if !class.is_malware() {
         return Err(CoreError::Config(
             "scatter plots compare a malware class against benign".to_owned(),
         ));
     }
-    let dataset = config.collect();
-    let subset = dataset.filtered(|c| c == class || c == AppClass::Benign);
+    let collection = cache.collect(config)?;
+    let subset = collection
+        .dataset
+        .filtered(|c| c == class || c == AppClass::Benign);
     let data = to_binary_dataset(&subset);
     let pca = Pca::fit(&data)?;
     Ok(data

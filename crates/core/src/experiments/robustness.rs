@@ -12,11 +12,13 @@
 //! the detector actually decided.
 
 use hbmd_malware::SampleCatalog;
-use hbmd_perf::{Collector, CollectorConfig, FaultPlan};
+use hbmd_ml::par::try_par_map;
+use hbmd_perf::{CollectorConfig, FaultPlan};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::DetectorBuilder;
 use crate::error::CoreError;
+use crate::experiments::cache::{catalog_recipe, CollectCache};
 use crate::experiments::ExperimentConfig;
 use crate::suite::ClassifierKind;
 
@@ -63,74 +65,100 @@ pub fn degradation_sweep(
     schemes: &[ClassifierKind],
     fault_rates: &[f64],
 ) -> Result<Vec<RobustnessRow>, CoreError> {
+    degradation_sweep_with(CollectCache::global(), config, schemes, fault_rates)
+}
+
+/// [`degradation_sweep`] against an explicit [`CollectCache`].
+///
+/// Detector training is fanned out across schemes and the fault-rate
+/// sweep across rates, both on `config.threads` workers; each rate's
+/// evaluation collection (and its report) is memoized in `cache`, so
+/// re-running the sweep — or running it at a different thread count —
+/// collects each faulted pipeline exactly once.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Config`] for an empty scheme or rate list,
+/// propagates training errors, and propagates
+/// [`DegradedCollection`](hbmd_perf::PerfError::DegradedCollection)
+/// when a rate corrupts the evaluation collection beyond the
+/// collector's failure threshold.
+pub fn degradation_sweep_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+    schemes: &[ClassifierKind],
+    fault_rates: &[f64],
+) -> Result<Vec<RobustnessRow>, CoreError> {
     if schemes.is_empty() || fault_rates.is_empty() {
         return Err(CoreError::Config(
             "need at least one scheme and one fault rate".to_owned(),
         ));
     }
 
-    let train_data = config.collect();
-    let detectors = schemes
-        .iter()
-        .map(|&scheme| {
-            DetectorBuilder::new()
-                .classifier(scheme)
-                .train_binary(&train_data)
-                .map(|d| (scheme, d))
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+    let train_data = &cache.collect(config)?.dataset;
+    let detectors = try_par_map(schemes, config.threads, |_, &scheme| {
+        DetectorBuilder::new()
+            .classifier(scheme)
+            .train_binary(train_data)
+            .map(|d| (scheme, d))
+    })?;
 
     // Fresh specimen stream: same class mix, ids and behaviour seeds
     // the detectors have never seen.
-    let eval_catalog = SampleCatalog::scaled(
-        config.catalog_fraction.min(1.0),
-        config.catalog_seed ^ 0x0BAD_F00D,
-    );
+    let eval_fraction = config.catalog_fraction.min(1.0);
+    let eval_seed = config.catalog_seed ^ 0x0BAD_F00D;
+    let eval_recipe = catalog_recipe(eval_fraction, eval_seed);
 
-    let mut rows = Vec::with_capacity(fault_rates.len() * schemes.len());
-    for (k, &rate) in fault_rates.iter().enumerate() {
-        let collector = Collector::try_new(CollectorConfig {
+    let per_rate = try_par_map(fault_rates, config.threads, |k, &rate| {
+        let collector = CollectorConfig {
             fault: (rate > 0.0)
                 .then(|| FaultPlan::uniform(rate, config.catalog_seed ^ (k as u64) << 32)),
             ..config.collector.clone()
+        };
+        let collection = cache.collect_catalog(&collector, &eval_recipe, || {
+            SampleCatalog::scaled(eval_fraction, eval_seed)
         })?;
-        let (eval_data, report) = collector.collect_with_report(&eval_catalog)?;
+        let (eval_data, report) = (&collection.dataset, &collection.report);
 
-        for (scheme, detector) in &detectors {
-            let mut decided = 0usize;
-            let mut correct = 0usize;
-            let mut abstained = 0usize;
-            for row in eval_data.rows() {
-                let verdict = detector.classify_sanitized(&row.features);
-                if verdict.is_abstain() {
-                    abstained += 1;
-                } else {
-                    decided += 1;
-                    if verdict.is_malware() == row.class.is_malware() {
-                        correct += 1;
+        let rows: Vec<RobustnessRow> = detectors
+            .iter()
+            .map(|(scheme, detector)| {
+                let mut decided = 0usize;
+                let mut correct = 0usize;
+                let mut abstained = 0usize;
+                for row in eval_data.rows() {
+                    let verdict = detector.classify_sanitized(&row.features);
+                    if verdict.is_abstain() {
+                        abstained += 1;
+                    } else {
+                        decided += 1;
+                        if verdict.is_malware() == row.class.is_malware() {
+                            correct += 1;
+                        }
                     }
                 }
-            }
-            rows.push(RobustnessRow {
-                fault_rate: rate,
-                scheme: *scheme,
-                accuracy: if decided == 0 {
-                    f64::NAN
-                } else {
-                    correct as f64 / decided as f64
-                },
-                abstain_rate: if eval_data.is_empty() {
-                    0.0
-                } else {
-                    abstained as f64 / eval_data.len() as f64
-                },
-                windows: eval_data.len(),
-                quarantined: report.quarantined.len(),
-                retries: report.retries,
-            });
-        }
-    }
-    Ok(rows)
+                RobustnessRow {
+                    fault_rate: rate,
+                    scheme: *scheme,
+                    accuracy: if decided == 0 {
+                        f64::NAN
+                    } else {
+                        correct as f64 / decided as f64
+                    },
+                    abstain_rate: if eval_data.is_empty() {
+                        0.0
+                    } else {
+                        abstained as f64 / eval_data.len() as f64
+                    },
+                    windows: eval_data.len(),
+                    quarantined: report.quarantined.len(),
+                    retries: report.retries,
+                }
+            })
+            .collect();
+        Ok::<Vec<RobustnessRow>, CoreError>(rows)
+    })?;
+    Ok(per_rate.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

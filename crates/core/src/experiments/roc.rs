@@ -6,11 +6,13 @@
 //! ROC curves (and the 1 % / 5 % FPR operating points) for the two
 //! score-producing schemes, MLR and SVM.
 
-use hbmd_ml::{Classifier, LinearSvm, Mlr, RocCurve, RocPoint};
+use hbmd_ml::par::try_par_map;
+use hbmd_ml::{Classifier, Dataset, LinearSvm, Mlr, RocCurve, RocPoint};
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
 use crate::error::CoreError;
+use crate::experiments::cache::CollectCache;
 use crate::experiments::ExperimentConfig;
 use crate::features::{FeaturePlan, FeatureSet};
 
@@ -33,38 +35,57 @@ pub struct RocRow {
 ///
 /// Propagates collection, feature-plan, training, and curve errors.
 pub fn comparison(config: &ExperimentConfig) -> Result<Vec<RocRow>, CoreError> {
-    let dataset = config.collect();
-    let (train_hpc, test_hpc) = dataset.split(0.7, config.split_seed);
+    comparison_with(CollectCache::global(), config)
+}
+
+/// [`comparison`] against an explicit [`CollectCache`]; the two
+/// schemes train and score in parallel on `config.threads` workers.
+///
+/// # Errors
+///
+/// Propagates collection, feature-plan, training, and curve errors.
+pub fn comparison_with(
+    cache: &CollectCache,
+    config: &ExperimentConfig,
+) -> Result<Vec<RocRow>, CoreError> {
+    let collection = cache.collect(config)?;
+    let (train_hpc, test_hpc) = collection.dataset.split(0.7, config.split_seed);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let indices = plan.resolve(FeatureSet::Top(8))?;
     let train = to_binary_dataset(&train_hpc).select_features(&indices)?;
     let test = to_binary_dataset(&test_hpc).select_features(&indices)?;
     let labels: Vec<bool> = test.labels().iter().map(|&l| l == 1).collect();
 
-    let mut rows = Vec::with_capacity(2);
+    let schemes: [(&str, ScoreFn); 2] = [("Logistic", mlr_scores), ("SVM", svm_scores)];
+    try_par_map(&schemes, config.threads, |_, &(scheme, score)| {
+        row(scheme, &score(&train, &test)?, &labels)
+    })
+}
 
+/// A train-and-score routine for one score-producing scheme.
+type ScoreFn = fn(&Dataset, &Dataset) -> Result<Vec<f64>, CoreError>;
+
+fn mlr_scores(train: &Dataset, test: &Dataset) -> Result<Vec<f64>, CoreError> {
     let mut mlr = Mlr::new();
-    mlr.fit(&train)?;
-    let scores: Vec<f64> = test
+    mlr.fit(train)?;
+    Ok(test
         .rows()
         .iter()
         .map(|r| mlr.predict_proba(r)[1])
-        .collect();
-    rows.push(row("Logistic", &scores, &labels)?);
+        .collect())
+}
 
+fn svm_scores(train: &Dataset, test: &Dataset) -> Result<Vec<f64>, CoreError> {
     let mut svm = LinearSvm::new();
-    svm.fit(&train)?;
-    let scores: Vec<f64> = test
+    svm.fit(train)?;
+    Ok(test
         .rows()
         .iter()
         .map(|r| {
             let margins = svm.decision_values(r);
             margins[1] - margins[0]
         })
-        .collect();
-    rows.push(row("SVM", &scores, &labels)?);
-
-    Ok(rows)
+        .collect())
 }
 
 fn row(scheme: &str, scores: &[f64], labels: &[bool]) -> Result<RocRow, CoreError> {

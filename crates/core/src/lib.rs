@@ -55,7 +55,9 @@ mod voting;
 pub use convert::{to_binary_dataset, to_multiclass_dataset, BINARY_CLASS_NAMES};
 pub use detector::{Detector, DetectorBuilder, DetectorMode, Verdict};
 pub use error::CoreError;
+pub use experiments::cache::{CacheStats, CollectCache, Collection};
 pub use features::{FeaturePlan, FeatureSet};
+pub use hbmd_ml::par;
 pub use online::{OnlineDetector, OnlineVerdict};
 pub use sanitize::{SanitizeOutcome, Sanitizer};
 pub use suite::{ClassifierKind, TrainedModel};

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::ops::Index;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -42,6 +43,13 @@ impl std::error::Error for MlError {}
 /// A labelled dataset: numeric feature rows plus a nominal class — the
 /// in-memory equivalent of a WEKA ARFF relation.
 ///
+/// Feature values are stored as one contiguous row-major `Vec<f64>`
+/// (stride = feature count) rather than a `Vec<Vec<f64>>`: rows are
+/// exposed as `&[f64]` views into the single allocation, so training
+/// loops that scan rows stay cache-friendly and projections like
+/// [`Dataset::select_features`] or [`Dataset::split`] are single
+/// allocations instead of one per row.
+///
 /// # Examples
 ///
 /// ```
@@ -55,14 +63,83 @@ impl std::error::Error for MlError {}
 /// data.push(vec![500.0, 90.0], 1)?;
 /// assert_eq!(data.len(), 2);
 /// assert_eq!(data.num_features(), 2);
+/// assert_eq!(&data.rows()[1], &[500.0, 90.0][..]);
 /// # Ok::<(), hbmd_ml::MlError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     feature_names: Vec<String>,
     class_names: Vec<String>,
-    rows: Vec<Vec<f64>>,
+    /// Row-major feature matrix: `labels.len() * feature_names.len()`
+    /// values in one allocation.
+    values: Vec<f64>,
     labels: Vec<usize>,
+}
+
+/// A borrowed, indexable view of a dataset's rows: each row is a
+/// `&[f64]` slice into the dataset's contiguous storage.
+///
+/// Supports indexing (`rows[i][j]`), iteration (`for row in rows` /
+/// `rows.iter()`), and conversion back to the nested-vector layout
+/// ([`RowsView::to_vec`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'a> {
+    values: &'a [f64],
+    width: usize,
+}
+
+impl<'a> RowsView<'a> {
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.values.len() / self.width
+    }
+
+    /// `true` when the view has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate rows as `&[f64]` slices.
+    pub fn iter(&self) -> std::slice::ChunksExact<'a, f64> {
+        self.values.chunks_exact(self.width)
+    }
+
+    /// The row at `index`, or `None` when out of range.
+    pub fn get(&self, index: usize) -> Option<&'a [f64]> {
+        let start = index.checked_mul(self.width)?;
+        self.values.get(start..start + self.width)
+    }
+
+    /// Copy the view out into the nested-vector layout.
+    pub fn to_vec(&self) -> Vec<Vec<f64>> {
+        self.iter().map(<[f64]>::to_vec).collect()
+    }
+}
+
+impl Index<usize> for RowsView<'_> {
+    type Output = [f64];
+
+    fn index(&self, index: usize) -> &[f64] {
+        &self.values[index * self.width..(index + 1) * self.width]
+    }
+}
+
+impl<'a> IntoIterator for RowsView<'a> {
+    type Item = &'a [f64];
+    type IntoIter = std::slice::ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.chunks_exact(self.width)
+    }
+}
+
+impl<'a> IntoIterator for &RowsView<'a> {
+    type Item = &'a [f64];
+    type IntoIter = std::slice::ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 impl Dataset {
@@ -82,7 +159,7 @@ impl Dataset {
         Ok(Dataset {
             feature_names,
             class_names,
-            rows: Vec::new(),
+            values: Vec::new(),
             labels: Vec::new(),
         })
     }
@@ -106,10 +183,46 @@ impl Dataset {
                 found: labels.len(),
             });
         }
+        dataset.values.reserve(rows.len() * dataset.num_features());
         for (row, label) in rows.into_iter().zip(labels) {
             dataset.push(row, label)?;
         }
         Ok(dataset)
+    }
+
+    /// Dataset directly from the contiguous row-major layout: `values`
+    /// holds `labels.len()` rows of `feature_names.len()` features
+    /// each. The zero-copy counterpart of [`Dataset::from_rows`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Dataset::new`], plus [`MlError::DimensionMismatch`] when
+    /// `values` is not `labels.len() * feature_names.len()` long or a
+    /// label is out of range.
+    pub fn from_flat(
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+        values: Vec<f64>,
+        labels: Vec<usize>,
+    ) -> Result<Dataset, MlError> {
+        let dataset = Dataset::new(feature_names, class_names)?;
+        if values.len() != labels.len() * dataset.num_features() {
+            return Err(MlError::DimensionMismatch {
+                expected: labels.len() * dataset.num_features(),
+                found: values.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= dataset.num_classes()) {
+            return Err(MlError::DimensionMismatch {
+                expected: dataset.num_classes(),
+                found: bad,
+            });
+        }
+        Ok(Dataset {
+            values,
+            labels,
+            ..dataset
+        })
     }
 
     /// Append one instance.
@@ -131,19 +244,19 @@ impl Dataset {
                 found: label,
             });
         }
-        self.rows.push(row);
+        self.values.extend_from_slice(&row);
         self.labels.push(label);
         Ok(())
     }
 
     /// Number of instances.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.labels.len()
     }
 
     /// `true` when the dataset has no instances.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.labels.is_empty()
     }
 
     /// Number of feature columns.
@@ -166,9 +279,29 @@ impl Dataset {
         &self.class_names
     }
 
-    /// Feature rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// Feature rows, as an indexable/iterable view of `&[f64]` slices
+    /// into the contiguous storage.
+    pub fn rows(&self) -> RowsView<'_> {
+        RowsView {
+            values: &self.values,
+            width: self.feature_names.len(),
+        }
+    }
+
+    /// The row at `index` as a slice into the contiguous storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn row(&self, index: usize) -> &[f64] {
+        let width = self.feature_names.len();
+        &self.values[index * width..(index + 1) * width]
+    }
+
+    /// The whole row-major feature matrix as one flat slice
+    /// (`len() * num_features()` values).
+    pub fn flat_values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Labels, parallel to [`rows`](Dataset::rows).
@@ -202,7 +335,7 @@ impl Dataset {
     }
 
     /// A dataset keeping only the listed feature columns, in the given
-    /// order.
+    /// order. The projected matrix is built in a single allocation.
     ///
     /// # Errors
     ///
@@ -224,15 +357,14 @@ impl Dataset {
             .iter()
             .map(|&i| self.feature_names[i].clone())
             .collect();
-        let rows = self
-            .rows
-            .iter()
-            .map(|row| indices.iter().map(|&i| row[i]).collect())
-            .collect();
+        let mut values = Vec::with_capacity(self.len() * indices.len());
+        for row in self.rows() {
+            values.extend(indices.iter().map(|&i| row[i]));
+        }
         Ok(Dataset {
             feature_names,
             class_names: self.class_names.clone(),
-            rows,
+            values,
             labels: self.labels.clone(),
         })
     }
@@ -249,7 +381,7 @@ impl Dataset {
         Dataset {
             feature_names: self.feature_names.clone(),
             class_names: vec!["rest".to_owned(), positive_name.to_owned()],
-            rows: self.rows.clone(),
+            values: self.values.clone(),
             labels,
         }
     }
@@ -267,14 +399,8 @@ impl Dataset {
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.shuffle(&mut SmallRng::seed_from_u64(seed));
         let take = ((self.len() as f64) * train_fraction).round() as usize;
-        let mut train = self.empty_like();
-        let mut test = self.empty_like();
-        for (k, &i) in order.iter().enumerate() {
-            let target = if k < take { &mut train } else { &mut test };
-            target.rows.push(self.rows[i].clone());
-            target.labels.push(self.labels[i]);
-        }
-        (train, test)
+        let (train_idx, test_idx) = order.split_at(take.min(order.len()));
+        (self.subset(train_idx), self.subset(test_idx))
     }
 
     /// An empty dataset with this dataset's schema.
@@ -282,20 +408,25 @@ impl Dataset {
         Dataset {
             feature_names: self.feature_names.clone(),
             class_names: self.class_names.clone(),
-            rows: Vec::new(),
+            values: Vec::new(),
             labels: Vec::new(),
         }
     }
 
-    /// A dataset holding the instances at `indices` (cloned).
+    /// A dataset holding the instances at `indices` (copied in a single
+    /// allocation).
     ///
     /// # Panics
     ///
     /// Panics when any index is out of range.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let width = self.num_features();
         let mut out = self.empty_like();
+        out.values.reserve(indices.len() * width);
+        out.labels.reserve(indices.len());
         for &i in indices {
-            out.rows.push(self.rows[i].clone());
+            out.values
+                .extend_from_slice(&self.values[i * width..(i + 1) * width]);
             out.labels.push(self.labels[i]);
         }
         out
@@ -303,19 +434,25 @@ impl Dataset {
 
     /// Iterate `(row, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], usize)> {
-        self.rows
-            .iter()
-            .map(|r| r.as_slice())
-            .zip(self.labels.iter().copied())
+        self.rows().iter().zip(self.labels.iter().copied())
     }
 
     /// Per-feature mean and (population) standard deviation.
+    ///
+    /// Two column-strided passes over the contiguous storage: the
+    /// shifted-data one-pass formula (`E[x²] − E[x]²`) cancels
+    /// catastrophically on counter-sized magnitudes and perturbs
+    /// downstream near-ties (PCA rankings, standardized models), so
+    /// the mean is computed first and deviations second — the same
+    /// summation order as the nested-row layout used.
     pub fn feature_stats(&self) -> Vec<(f64, f64)> {
+        let width = self.num_features();
         let n = self.len().max(1) as f64;
-        (0..self.num_features())
+        (0..width)
             .map(|j| {
-                let mean = self.rows.iter().map(|r| r[j]).sum::<f64>() / n;
-                let var = self.rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+                let column = || self.values.iter().skip(j).step_by(width.max(1));
+                let mean = column().sum::<f64>() / n;
+                let var = column().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
                 (mean, var.sqrt())
             })
             .collect()
@@ -396,7 +533,7 @@ mod tests {
         let d = toy();
         let p = d.select_features(&[2, 0]).expect("select");
         assert_eq!(p.feature_names(), &["c".to_owned(), "a".to_owned()]);
-        assert_eq!(p.rows()[3], vec![1.0, 3.0]);
+        assert_eq!(&p.rows()[3], &[1.0, 3.0][..]);
         assert!(d.select_features(&[7]).is_err());
         assert!(d.select_features(&[]).is_err());
     }
@@ -449,6 +586,53 @@ mod tests {
         )
         .expect("rebuild");
         assert_eq!(d, rebuilt);
+    }
+
+    #[test]
+    fn from_flat_matches_from_rows() {
+        let d = toy();
+        let flat = Dataset::from_flat(
+            d.feature_names().to_vec(),
+            d.class_names().to_vec(),
+            d.flat_values().to_vec(),
+            d.labels().to_vec(),
+        )
+        .expect("rebuild");
+        assert_eq!(d, flat);
+        assert!(Dataset::from_flat(
+            d.feature_names().to_vec(),
+            d.class_names().to_vec(),
+            vec![1.0; 4],
+            vec![0, 1],
+        )
+        .is_err());
+        assert!(Dataset::from_flat(
+            d.feature_names().to_vec(),
+            d.class_names().to_vec(),
+            vec![1.0; 6],
+            vec![0, 7],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rows_view_indexes_iterates_and_bounds_checks() {
+        let d = toy();
+        let rows = d.rows();
+        assert_eq!(rows.len(), 10);
+        assert!(!rows.is_empty());
+        assert_eq!(rows[4], [4.0, 8.0, 1.0]);
+        assert_eq!(rows.get(4), Some(&[4.0, 8.0, 1.0][..]));
+        assert_eq!(rows.get(10), None);
+        let collected: Vec<&[f64]> = rows.iter().collect();
+        assert_eq!(collected.len(), 10);
+        assert_eq!(collected[0], d.row(0));
+        let mut count = 0;
+        for row in d.rows() {
+            assert_eq!(row.len(), 3);
+            count += 1;
+        }
+        assert_eq!(count, 10);
     }
 
     #[test]

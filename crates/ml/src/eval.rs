@@ -222,6 +222,10 @@ impl Evaluation {
 /// Stratified k-fold cross-validation: `factory` builds a fresh
 /// classifier per fold; the returned evaluations are one per fold.
 ///
+/// Folds are trained and evaluated in parallel on the machine's
+/// available threads; see [`cross_validate_with_threads`] for the
+/// determinism guarantee and an explicit thread knob.
+///
 /// # Errors
 ///
 /// Returns [`MlError::Config`] when `k < 2` or `k > data.len()`, and
@@ -234,7 +238,31 @@ pub fn cross_validate<C, F>(
 ) -> Result<Vec<Evaluation>, MlError>
 where
     C: Classifier,
-    F: Fn() -> C,
+    F: Fn() -> C + Sync,
+{
+    cross_validate_with_threads(factory, data, k, seed, crate::par::default_threads())
+}
+
+/// [`cross_validate`] with an explicit worker-thread count.
+///
+/// The seeded fold assignment is computed up front on the calling
+/// thread; each fold's train/evaluate is then a pure function of the
+/// assignment, so the returned evaluations are byte-identical at any
+/// `threads` value (1 = fully sequential).
+///
+/// # Errors
+///
+/// As [`cross_validate`].
+pub fn cross_validate_with_threads<C, F>(
+    factory: F,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<Evaluation>, MlError>
+where
+    C: Classifier,
+    F: Fn() -> C + Sync,
 {
     if k < 2 {
         return Err(MlError::Config("cross-validation needs k >= 2".to_owned()));
@@ -258,17 +286,16 @@ where
         }
     }
 
-    let mut evaluations = Vec::with_capacity(k);
-    for fold in 0..k {
+    let folds: Vec<usize> = (0..k).collect();
+    crate::par::try_par_map(&folds, threads, |_, &fold| {
         let train_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
         let test_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == fold).collect();
         let train = data.subset(&train_idx);
         let test = data.subset(&test_idx);
         let mut classifier = factory();
         classifier.fit(&train)?;
-        evaluations.push(Evaluation::of(&classifier, &test));
-    }
-    Ok(evaluations)
+        Ok(Evaluation::of(&classifier, &test))
+    })
 }
 
 #[cfg(test)]
@@ -351,6 +378,17 @@ mod tests {
         // Folds cover every instance exactly once.
         let total: usize = evals.iter().map(|e| e.confusion().total()).sum();
         assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn cross_validation_is_thread_count_invariant() {
+        let data = separable(60);
+        let baseline = cross_validate_with_threads(OneR::new, &data, 5, 3, 1).expect("cv");
+        for threads in [2, 8] {
+            let parallel = cross_validate_with_threads(OneR::new, &data, 5, 3, threads)
+                .unwrap_or_else(|e| panic!("cv at {threads} threads: {e}"));
+            assert_eq!(parallel, baseline, "threads = {threads}");
+        }
     }
 
     #[test]

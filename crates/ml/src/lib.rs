@@ -17,7 +17,14 @@
 //!   attribute ranking (the paper's feature-reduction engine),
 //! * [`Standardize`] / [`MinMaxNormalize`] filters,
 //! * [`Evaluation`] / [`ConfusionMatrix`] / [`cross_validate`] —
-//!   train/test and k-fold evaluation with per-class metrics.
+//!   train/test and k-fold evaluation with per-class metrics,
+//! * [`par`] — a deterministic, ordering-preserving `par_map` used to
+//!   fan training/evaluation loops out across scoped threads.
+//!
+//! [`Dataset`] stores its feature matrix as one contiguous row-major
+//! allocation; [`Dataset::rows`] hands out `&[f64]` views
+//! ([`RowsView`]), so scans stay cache-friendly and projections are
+//! single allocations.
 //!
 //! # Examples
 //!
@@ -45,6 +52,7 @@ mod ensemble;
 mod eval;
 mod filter;
 mod linalg;
+pub mod par;
 mod pca;
 mod roc;
 
@@ -60,9 +68,9 @@ pub use classifiers::rep_tree::RepTree;
 pub use classifiers::stump::DecisionStump;
 pub use classifiers::svm::LinearSvm;
 pub use classifiers::zero_r::ZeroR;
-pub use data::{Dataset, MlError};
+pub use data::{Dataset, MlError, RowsView};
 pub use ensemble::{AdaBoostM1, Bagging, RandomForest};
-pub use eval::{cross_validate, ConfusionMatrix, Evaluation};
+pub use eval::{cross_validate, cross_validate_with_threads, ConfusionMatrix, Evaluation};
 pub use filter::{Impute, MinMaxNormalize, Standardize};
 pub use linalg::{covariance_matrix, jacobi_eigen, Matrix};
 pub use pca::{Pca, RankedAttribute};

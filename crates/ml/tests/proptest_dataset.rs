@@ -1,0 +1,121 @@
+//! Property tests for the columnar [`Dataset`] layout: everything
+//! observable through the public API must behave exactly as the old
+//! `Vec<Vec<f64>>`-of-rows layout did.
+
+use hbmd_ml::Dataset;
+use proptest::prelude::*;
+
+const MAX_WIDTH: usize = 6;
+
+/// Nested rows + labels + a feature-index selection, sized coherently
+/// (the vendored proptest has no `prop_flat_map`, so oversized raw
+/// material is trimmed in `prop_map`).
+fn arb_input() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<usize>, Vec<usize>)> {
+    (
+        1usize..(MAX_WIDTH + 1),
+        prop::collection::vec(prop::collection::vec(-1e6f64..1e6, MAX_WIDTH), 0..40),
+        prop::collection::vec(0usize..3, 0..40),
+        prop::collection::vec(0usize..64, 1..(MAX_WIDTH + 1)),
+    )
+        .prop_map(|(width, raw_rows, raw_labels, raw_selection)| {
+            let len = raw_rows.len().min(raw_labels.len());
+            let rows: Vec<Vec<f64>> = raw_rows
+                .into_iter()
+                .take(len)
+                .map(|r| r[..width].to_vec())
+                .collect();
+            let labels: Vec<usize> = raw_labels.into_iter().take(len).collect();
+            let selection: Vec<usize> = raw_selection.into_iter().map(|i| i % width).collect();
+            (width, rows, labels, selection)
+        })
+}
+
+fn schema(width: usize) -> (Vec<String>, Vec<String>) {
+    (
+        (0..width).map(|i| format!("f{i}")).collect(),
+        vec!["a".into(), "b".into(), "c".into()],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `from_rows` → `rows()` round-trips the nested layout exactly.
+    #[test]
+    fn from_rows_round_trips(input in arb_input()) {
+        let (width, rows, labels, _) = input;
+        let (features, classes) = schema(width);
+        let data = Dataset::from_rows(features, classes, rows.clone(), labels.clone())
+            .expect("coherent input");
+        prop_assert_eq!(data.len(), rows.len());
+        prop_assert_eq!(data.labels(), labels.as_slice());
+        prop_assert_eq!(data.rows().to_vec(), rows.clone());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(&data.rows()[i], row.as_slice());
+            prop_assert_eq!(data.row(i), row.as_slice());
+        }
+    }
+
+    /// `from_flat` builds the identical dataset from the contiguous
+    /// layout.
+    #[test]
+    fn from_flat_equals_from_rows(input in arb_input()) {
+        let (width, rows, labels, _) = input;
+        let (features, classes) = schema(width);
+        let nested = Dataset::from_rows(
+            features.clone(), classes.clone(), rows.clone(), labels.clone(),
+        ).expect("coherent input");
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let direct = Dataset::from_flat(features, classes, flat, labels)
+            .expect("coherent input");
+        prop_assert_eq!(nested, direct);
+    }
+
+    /// `select_features` matches a hand-rolled projection of the nested
+    /// rows (the old layout's semantics).
+    #[test]
+    fn select_features_matches_nested_projection(input in arb_input()) {
+        let (width, rows, labels, selection) = input;
+        let (features, classes) = schema(width);
+        let data = Dataset::from_rows(features, classes, rows.clone(), labels.clone())
+            .expect("coherent input");
+        let projected = data.select_features(&selection).expect("in-range selection");
+        prop_assert_eq!(projected.len(), data.len());
+        prop_assert_eq!(projected.num_features(), selection.len());
+        prop_assert_eq!(projected.labels(), labels.as_slice());
+        let expected: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| selection.iter().map(|&i| row[i]).collect())
+            .collect();
+        prop_assert_eq!(projected.rows().to_vec(), expected);
+    }
+
+    /// `split` partitions every instance exactly once and keeps each
+    /// row attached to its label.
+    #[test]
+    fn split_partitions_rows_with_labels(input in arb_input()) {
+        let (width, rows, labels, _) = input;
+        if rows.len() < 2 {
+            continue; // split needs at least one row on each side
+        }
+        let (features, classes) = schema(width);
+        let data = Dataset::from_rows(features, classes, rows.clone(), labels.clone())
+            .expect("coherent input");
+        let (train, test) = data.split(0.7, 9);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+
+        let mut seen: Vec<(Vec<f64>, usize)> = train
+            .iter()
+            .chain(test.iter())
+            .map(|(row, label)| (row.to_vec(), label))
+            .collect();
+        let mut original: Vec<(Vec<f64>, usize)> = rows
+            .into_iter()
+            .zip(labels)
+            .collect();
+        let key = |pair: &(Vec<f64>, usize)| format!("{pair:?}");
+        seen.sort_by_key(key);
+        original.sort_by_key(key);
+        prop_assert_eq!(seen, original);
+    }
+}

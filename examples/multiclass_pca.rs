@@ -14,6 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         catalog_seed: 2018,
         collector: CollectorConfig::paper(),
         split_seed: 42,
+        threads: hbmd::core::par::default_threads(),
     };
 
     // Table 2: the PCA-reduced feature sets.
