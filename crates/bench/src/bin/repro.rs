@@ -25,8 +25,20 @@
 //! collection-cache hit/miss counters. Collection is memoized in a
 //! run-local [`CollectCache`], so the `misses` counter equals the
 //! number of *distinct* collector configurations the run touched.
+//!
+//! Observability (all off by default; stdout is byte-identical without
+//! these flags):
+//!
+//! * `--trace-jsonl PATH` — stream every span (collection, training,
+//!   per-experiment phases) as JSON lines to `PATH`;
+//! * `--metrics-json PATH` — write the run's [`RunManifest`] plus the
+//!   full metrics snapshot (counters, gauges, histograms) to `PATH`.
+//!
+//! Either flag also prints a metrics summary table to stderr at the
+//! end of the run.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use hbmd_bench::{config_at_scale, pct, BenchReport, PhaseTiming, TextTable};
@@ -36,7 +48,9 @@ use hbmd_core::experiments::{
 use hbmd_core::{to_binary_dataset, ClassifierKind, CollectCache, FeaturePlan, FeatureSet};
 use hbmd_fpga::SynthConfig;
 use hbmd_malware::AppClass;
-use hbmd_ml::{Classifier, Evaluation};
+use hbmd_ml::Evaluation;
+use hbmd_obs::manifest::{fnv1a_64, RunManifest};
+use hbmd_obs::{JsonlSink, Obs};
 use hbmd_perf::PmuConfig;
 
 fn main() -> ExitCode {
@@ -44,6 +58,8 @@ fn main() -> ExitCode {
     let mut scale = 0.2f64;
     let mut threads: Option<usize> = None;
     let mut bench_json = "BENCH_repro.json".to_owned();
+    let mut trace_jsonl: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -68,6 +84,20 @@ fn main() -> ExitCode {
                 Some(path) => bench_json = path.clone(),
                 None => {
                     eprintln!("--bench-json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-jsonl" => match iter.next() {
+                Some(path) => trace_jsonl = Some(path.clone()),
+                None => {
+                    eprintln!("--trace-jsonl needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-json" => match iter.next() {
+                Some(path) => metrics_json = Some(path.clone()),
+                None => {
+                    eprintln!("--metrics-json needs a path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -127,6 +157,27 @@ fn main() -> ExitCode {
         config.threads,
     );
 
+    // A fresh obs context scopes this run's metrics and spans away from
+    // whatever the default registry accumulated. Installed only when an
+    // observability flag asks for output, so the default run pays no
+    // sink dispatch and prints byte-identical stdout.
+    let observing = trace_jsonl.is_some() || metrics_json.is_some();
+    let obs_guard = if observing {
+        let mut obs = Obs::new();
+        if let Some(path) = &trace_jsonl {
+            match JsonlSink::create(path) {
+                Ok(sink) => obs = obs.with_sink(Arc::new(sink)),
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(hbmd_obs::install(obs))
+    } else {
+        None
+    };
+
     // Run-local cache: its miss counter is exactly the number of
     // distinct collector configurations this invocation collected.
     let cache = CollectCache::new();
@@ -142,7 +193,9 @@ fn main() -> ExitCode {
     };
     for experiment in &experiments {
         let phase_started = Instant::now();
+        let span = hbmd_obs::span!("experiment", name = experiment.as_str());
         let result = run(experiment, &config, &cache);
+        drop(span);
         if let Err(e) = result {
             eprintln!("{experiment}: {e}");
             return ExitCode::FAILURE;
@@ -167,12 +220,66 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    if let Some(guard) = obs_guard {
+        let snapshot = guard.registry().snapshot();
+        if let Some(path) = &metrics_json {
+            let mut manifest = RunManifest::new("repro", env!("CARGO_PKG_VERSION"));
+            manifest.scale = scale;
+            manifest.threads = config.threads;
+            manifest.collector_threads = config.collector.threads;
+            manifest.seeds = vec![
+                ("catalog".to_owned(), config.catalog_seed),
+                ("split".to_owned(), config.split_seed),
+            ];
+            manifest.config_digest = fnv1a_64(format!("{config:?}").as_bytes());
+            // The workspace shares one version across the hbmd crates.
+            manifest.crates = [
+                "hbmd-events",
+                "hbmd-uarch",
+                "hbmd-malware",
+                "hbmd-perf",
+                "hbmd-ml",
+                "hbmd-fpga",
+                "hbmd-core",
+                "hbmd-obs",
+                "hbmd-bench",
+            ]
+            .iter()
+            .map(|name| ((*name).to_owned(), env!("CARGO_PKG_VERSION").to_owned()))
+            .collect();
+            manifest.experiments = experiments.clone();
+            manifest.wall.total_ms = started.elapsed().as_millis();
+
+            let body = snapshot.to_json();
+            let combined = format!(
+                "{{\n  \"manifest\": {},\n{}",
+                manifest.to_json(),
+                body.strip_prefix("{\n").unwrap_or(&body)
+            );
+            if let Err(e) = std::fs::write(path, combined) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        if let Err(e) = guard.obs().flush() {
+            let path = trace_jsonl.as_deref().unwrap_or("trace sink");
+            eprintln!("cannot flush {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if trace_jsonl.is_some() {
+            eprintln!("wrote {}", trace_jsonl.as_deref().unwrap_or_default());
+        }
+        eprint!("\n{}", snapshot.summary());
+    }
     ExitCode::SUCCESS
 }
 
 fn print_usage() {
     println!(
-        "usage: repro [--scale F | --paper | --fast] [--threads N] [--bench-json PATH] <experiment>...\n\
+        "usage: repro [--scale F | --paper | --fast] [--threads N] [--bench-json PATH]\n\
+         \x20      [--trace-jsonl PATH] [--metrics-json PATH] <experiment>...\n\
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
@@ -624,7 +731,7 @@ fn emit_hdl(
     let train = to_binary_dataset(&train_hpc).select_features(&indices)?;
     for kind in [ClassifierKind::OneR, ClassifierKind::JRip] {
         let mut model = kind.instantiate();
-        model.fit(&train)?;
+        hbmd_ml::fit_timed(&mut model, &train)?;
         let rtl = hbmd_fpga::emit_system_verilog(&model.datapath()?, &SynthConfig::default());
         println!("{rtl}");
     }
@@ -684,7 +791,7 @@ fn ablate_prefetch(
         let mut accs = Vec::new();
         for kind in [ClassifierKind::J48, ClassifierKind::Logistic] {
             let mut model = kind.instantiate();
-            model.fit(&train)?;
+            hbmd_ml::fit_timed(&mut model, &train)?;
             accs.push(Evaluation::of(&model, &test).accuracy());
         }
         table.row(vec![label.to_owned(), pct(accs[0]), pct(accs[1])]);
@@ -721,7 +828,7 @@ fn ablate_mux(
         let mut accs = Vec::new();
         for kind in [ClassifierKind::J48, ClassifierKind::Logistic] {
             let mut model = kind.instantiate();
-            model.fit(&train)?;
+            hbmd_ml::fit_timed(&mut model, &train)?;
             accs.push(Evaluation::of(&model, &test).accuracy());
         }
         table.row(vec![label.to_owned(), pct(accs[0]), pct(accs[1])]);
@@ -745,7 +852,7 @@ fn ablate_noise(
         let train = to_binary_dataset(&train_hpc);
         let test = to_binary_dataset(&test_hpc);
         let mut model = ClassifierKind::J48.instantiate();
-        model.fit(&train)?;
+        hbmd_ml::fit_timed(&mut model, &train)?;
         table.row(vec![
             format!("{noise:.1}"),
             pct(Evaluation::of(&model, &test).accuracy()),
@@ -776,9 +883,9 @@ fn ablate_features(
         let train = train_full.select_features(&indices)?;
         let test = test_full.select_features(&indices)?;
         let mut j48 = ClassifierKind::J48.instantiate();
-        j48.fit(&train)?;
+        hbmd_ml::fit_timed(&mut j48, &train)?;
         let mut logistic = ClassifierKind::Logistic.instantiate();
-        logistic.fit(&train)?;
+        hbmd_ml::fit_timed(&mut logistic, &train)?;
         let area =
             hbmd_fpga::synthesize(&logistic.datapath()?, &SynthConfig::default()).area_units();
         table.row(vec![
@@ -804,7 +911,7 @@ fn ablate_mlp(
     let mut table = TextTable::new(vec!["hidden units", "accuracy", "area", "latency cycles"]);
     for hidden in [2usize, 4, 9, 16, 32] {
         let mut mlp = hbmd_ml::Mlp::with_hidden(hidden);
-        mlp.fit(&train)?;
+        hbmd_ml::fit_timed(&mut mlp, &train)?;
         let evaluation = Evaluation::of(&mlp, &test);
         let report = hbmd_fpga::synthesize(
             &hbmd_fpga::ToDatapath::datapath(&mlp)?,

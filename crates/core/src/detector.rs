@@ -57,7 +57,7 @@ impl Verdict {
 /// use hbmd_perf::{Collector, CollectorConfig};
 ///
 /// let catalog = SampleCatalog::scaled(0.02, 11);
-/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let dataset = Collector::new(CollectorConfig::fast())?.collect(&catalog)?.dataset;
 /// let detector = DetectorBuilder::new()
 ///     .classifier(ClassifierKind::OneR)
 ///     .feature_set(FeatureSet::Top(4))
@@ -129,6 +129,14 @@ impl DetectorBuilder {
     }
 
     fn train(self, dataset: &HpcDataset, mode: DetectorMode) -> Result<Detector, CoreError> {
+        let scheme = self.classifier.name();
+        let _span = hbmd_obs::span!(
+            "train",
+            scheme = scheme,
+            mode = format!("{mode:?}"),
+            rows = dataset.len(),
+        );
+        let _latency = hbmd_obs::timer_with("train_ns", &[("scheme", scheme)]);
         if !(self.train_fraction > 0.0 && self.train_fraction < 1.0) {
             return Err(CoreError::Config(format!(
                 "train_fraction {} is outside (0, 1)",
@@ -153,6 +161,7 @@ impl DetectorBuilder {
         let mut model = self.classifier.instantiate();
         model.fit(&train)?;
         let evaluation = Evaluation::of(&model, &test);
+        hbmd_obs::counter_with("detectors_trained", &[("scheme", scheme)]).incr();
 
         Ok(Detector {
             model,
@@ -219,19 +228,24 @@ impl Detector {
             SanitizeOutcome::Clean(features) | SanitizeOutcome::Repaired { features, .. } => {
                 self.classify(&features)
             }
-            SanitizeOutcome::Unusable { .. } => Verdict::Abstain,
+            SanitizeOutcome::Unusable { .. } => {
+                hbmd_obs::counter_with("verdict", &[("verdict", "abstain")]).incr();
+                Verdict::Abstain
+            }
         }
     }
 
     /// Classify one sampling window.
     pub fn classify(&self, window: &FeatureVector) -> Verdict {
+        let latency = hbmd_obs::timer_with("classify_ns", &[("scheme", self.model.kind().name())]);
         let row: Vec<f64> = self
             .feature_indices
             .iter()
             .map(|&i| window.as_slice()[i])
             .collect();
         let label = self.model.predict(&row);
-        match self.mode {
+        latency.stop();
+        let verdict = match self.mode {
             DetectorMode::Binary => {
                 if label == 0 {
                     Verdict::Benign
@@ -244,7 +258,14 @@ impl Detector {
                 Some(AppClass::Benign) | None => Verdict::Benign,
                 Some(family) => Verdict::Malware(family),
             },
-        }
+        };
+        let outcome = match verdict {
+            Verdict::Benign => "benign",
+            Verdict::Malware(_) => "malware",
+            Verdict::Abstain => "abstain",
+        };
+        hbmd_obs::counter_with("verdict", &[("verdict", outcome)]).incr();
+        verdict
     }
 
     /// Synthesise the detector to hardware.
@@ -266,7 +287,11 @@ mod tests {
 
     fn dataset() -> HpcDataset {
         let catalog = SampleCatalog::scaled(0.03, 9);
-        Collector::new(CollectorConfig::fast()).collect(&catalog)
+        Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset
     }
 
     #[test]

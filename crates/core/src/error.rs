@@ -5,7 +5,11 @@ use hbmd_ml::MlError;
 use hbmd_perf::PerfError;
 
 /// Errors produced by the detection pipeline.
+///
+/// Marked `#[non_exhaustive]`: the pipeline will grow new failure
+/// modes, and downstream `match`es must keep a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CoreError {
     /// The machine-learning layer failed (training, schema, PCA).
     Ml(MlError),

@@ -2,7 +2,7 @@
 //! with PCA-reduced 8- and 4-feature inputs.
 
 use hbmd_ml::par::try_par_map;
-use hbmd_ml::{Classifier, Evaluation};
+use hbmd_ml::Evaluation;
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
@@ -78,7 +78,7 @@ pub fn accuracy_comparison_with(
         let mut accuracies = [0.0f64; 3];
         for (slot, (train, test)) in splits.iter().enumerate() {
             let mut model = scheme.instantiate();
-            model.fit(train)?;
+            hbmd_ml::fit_timed(&mut model, train)?;
             accuracies[slot] = Evaluation::of(&model, test).accuracy();
         }
         Ok::<BinaryAccuracyRow, CoreError>(BinaryAccuracyRow {

@@ -15,7 +15,8 @@
 //! datasets and may share an entry.
 //!
 //! The cache keeps the full [`Collection`] — dataset *and*
-//! [`CollectionReport`] — so callers can surface degradation telemetry
+//! [`CollectionReport`](hbmd_perf::CollectionReport) — so callers can
+//! surface degradation telemetry
 //! (quarantined samples, retries, fault counts) instead of discarding
 //! it. Failed collections are never cached; a config whose collection
 //! degrades past the failure threshold errors on every call.
@@ -32,18 +33,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use hbmd_malware::SampleCatalog;
-use hbmd_perf::{CollectionReport, Collector, CollectorConfig, HpcDataset, PerfError};
+use hbmd_perf::{Collector, CollectorConfig, DataRow, PerfError};
 
 use crate::experiments::ExperimentConfig;
 
-/// One memoized collection run: the dataset plus its pipeline report.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Collection {
-    /// The collected dataset, rows in catalog order.
-    pub dataset: HpcDataset,
-    /// Pipeline telemetry for the run that produced `dataset`.
-    pub report: CollectionReport,
-}
+// `Collection` moved into `hbmd-perf` (the collector returns it
+// directly now); re-exported here so `hbmd_core::experiments::cache::
+// Collection` keeps resolving.
+pub use hbmd_perf::Collection;
 
 /// Cache counters, for perf harnesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,6 +119,7 @@ impl CollectCache {
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            hbmd_obs::incr("cache.hits");
             return Ok(Arc::clone(entry));
         }
 
@@ -130,9 +128,13 @@ impl CollectCache {
         // behind it. Two racing misses for the same key both collect
         // (deterministically, to identical results); first insert wins.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let collector = Collector::try_new(collector.clone())?;
-        let (dataset, report) = collector.collect_with_report(&make_catalog())?;
-        let entry = Arc::new(Collection { dataset, report });
+        hbmd_obs::incr("cache.misses");
+        let collector = Collector::new(collector.clone())?;
+        let entry = Arc::new(collector.collect(&make_catalog())?);
+        hbmd_obs::add(
+            "cache.bytes_cached",
+            (entry.dataset.len() * std::mem::size_of::<DataRow>()) as u64,
+        );
         Ok(Arc::clone(
             self.entries
                 .lock()

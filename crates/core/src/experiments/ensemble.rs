@@ -5,7 +5,7 @@
 
 use hbmd_fpga::{synthesize, SynthConfig};
 use hbmd_ml::par::try_par_map;
-use hbmd_ml::{Classifier, Evaluation};
+use hbmd_ml::Evaluation;
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
@@ -78,7 +78,7 @@ pub fn comparison_with(
     let synth = SynthConfig::default();
     try_par_map(&schemes, config.threads, |_, &scheme| {
         let mut model = scheme.instantiate();
-        model.fit(&train)?;
+        hbmd_ml::fit_timed(&mut model, &train)?;
         let accuracy = Evaluation::of(&model, &test).accuracy();
         let report = synthesize(&model.datapath()?, &synth);
         Ok::<EnsembleRow, CoreError>(EnsembleRow {

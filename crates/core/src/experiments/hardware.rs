@@ -3,7 +3,7 @@
 
 use hbmd_fpga::{synthesize, HwReport, SynthConfig};
 use hbmd_ml::par::try_par_map;
-use hbmd_ml::{Classifier, Evaluation};
+use hbmd_ml::Evaluation;
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
@@ -89,7 +89,7 @@ pub fn comparison_with(
         let point = |slot: usize| -> Result<HardwarePoint, CoreError> {
             let (k, train, test) = &splits[slot];
             let mut model = scheme.instantiate();
-            model.fit(train)?;
+            hbmd_ml::fit_timed(&mut model, train)?;
             let accuracy = Evaluation::of(&model, test).accuracy();
             let report = synthesize(&model.datapath()?, synth);
             Ok(HardwarePoint {

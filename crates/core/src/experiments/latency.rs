@@ -109,7 +109,11 @@ pub fn windows_to_alarm_with(
                 class,
                 config.catalog_seed ^ 0xDEC0DE,
             );
-            let mut monitor = OnlineDetector::new(detector.clone(), 4, 3);
+            let mut monitor = OnlineDetector::builder(detector.clone())
+                .window(4)
+                .threshold(3)
+                .build()
+                .expect("static monitor shape");
             for (w, window) in sampler.collect_sample(&sample).iter().enumerate() {
                 if matches!(monitor.observe(window), OnlineVerdict::Alarm { .. }) {
                     detected += 1;

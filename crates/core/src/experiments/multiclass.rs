@@ -52,7 +52,7 @@ pub fn accuracy_comparison_with(
     let schemes = ClassifierKind::multiclass_suite();
     try_par_map(&schemes, config.threads, |_, &scheme| {
         let mut model = scheme.instantiate();
-        model.fit(&train)?;
+        hbmd_ml::fit_timed(&mut model, &train)?;
         let evaluation = Evaluation::of(&model, &test);
         Ok::<MulticlassRow, CoreError>(MulticlassRow {
             scheme,
@@ -185,7 +185,7 @@ impl PcaAssistedMlr {
             let projected = train.select_features(&indices)?;
             let binary = balanced_binary(&projected.binarized(&[class.index()], class.name()));
             let mut model = Mlr::new();
-            model.fit(&binary)?;
+            hbmd_ml::fit_timed(&mut model, &binary)?;
             members.push((class, indices, model));
         }
         Ok(PcaAssistedMlr { members })
@@ -248,13 +248,13 @@ pub fn pca_assisted_comparison_with(
     let test = to_multiclass_dataset(&test_hpc);
 
     let mut plain_full = Mlr::new();
-    plain_full.fit(&train)?;
+    hbmd_ml::fit_timed(&mut plain_full, &train)?;
     let plain_full_eval = Evaluation::of(&plain_full, &test);
 
     // Normal MLR under generic (non-custom) feature reduction.
     let top8 = plan.resolve(FeatureSet::Top(8))?;
     let mut plain = Mlr::new();
-    plain.fit(&train.select_features(&top8)?)?;
+    hbmd_ml::fit_timed(&mut plain, &train.select_features(&top8)?)?;
     let plain_eval = Evaluation::of(&plain, &test.select_features(&top8)?);
 
     let assisted = PcaAssistedMlr::train(&train, &plan)?;

@@ -7,7 +7,7 @@
 //! score-producing schemes, MLR and SVM.
 
 use hbmd_ml::par::try_par_map;
-use hbmd_ml::{Classifier, Dataset, LinearSvm, Mlr, RocCurve, RocPoint};
+use hbmd_ml::{Dataset, LinearSvm, Mlr, RocCurve, RocPoint};
 use serde::{Deserialize, Serialize};
 
 use crate::convert::to_binary_dataset;
@@ -67,7 +67,7 @@ type ScoreFn = fn(&Dataset, &Dataset) -> Result<Vec<f64>, CoreError>;
 
 fn mlr_scores(train: &Dataset, test: &Dataset) -> Result<Vec<f64>, CoreError> {
     let mut mlr = Mlr::new();
-    mlr.fit(train)?;
+    hbmd_ml::fit_timed(&mut mlr, train)?;
     Ok(test
         .rows()
         .iter()
@@ -77,7 +77,7 @@ fn mlr_scores(train: &Dataset, test: &Dataset) -> Result<Vec<f64>, CoreError> {
 
 fn svm_scores(train: &Dataset, test: &Dataset) -> Result<Vec<f64>, CoreError> {
     let mut svm = LinearSvm::new();
-    svm.fit(train)?;
+    hbmd_ml::fit_timed(&mut svm, train)?;
     Ok(test
         .rows()
         .iter()

@@ -60,7 +60,7 @@ impl FeatureSet {
 /// use hbmd_perf::{Collector, CollectorConfig};
 ///
 /// let catalog = SampleCatalog::scaled(0.02, 3);
-/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let dataset = Collector::new(CollectorConfig::fast())?.collect(&catalog)?.dataset;
 /// let plan = FeaturePlan::fit(&dataset)?;
 ///
 /// let custom = plan.resolve(FeatureSet::Custom8(AppClass::Worm))?;
@@ -219,7 +219,11 @@ mod tests {
 
     fn plan() -> (HpcDataset, FeaturePlan) {
         let catalog = SampleCatalog::scaled(0.03, 5);
-        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let dataset = Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset;
         let plan = FeaturePlan::fit(&dataset).expect("fit");
         (dataset, plan)
     }

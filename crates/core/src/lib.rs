@@ -31,7 +31,11 @@
 //! use hbmd_perf::{Collector, CollectorConfig};
 //!
 //! let catalog = SampleCatalog::scaled(0.02, 7);
-//! let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+//! let dataset = Collector::new(CollectorConfig::fast())
+//!     .expect("static config")
+//!     .collect(&catalog)
+//!     .expect("pristine pipeline")
+//!     .dataset;
 //!
 //! let detector = DetectorBuilder::new()
 //!     .classifier(ClassifierKind::J48)
@@ -58,7 +62,7 @@ pub use error::CoreError;
 pub use experiments::cache::{CacheStats, CollectCache, Collection};
 pub use features::{FeaturePlan, FeatureSet};
 pub use hbmd_ml::par;
-pub use online::{OnlineDetector, OnlineVerdict};
+pub use online::{OnlineDetector, OnlineDetectorBuilder, OnlineVerdict};
 pub use sanitize::{SanitizeOutcome, Sanitizer};
 pub use suite::{ClassifierKind, TrainedModel};
 pub use voting::VotingDetector;

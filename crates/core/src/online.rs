@@ -5,6 +5,7 @@ use hbmd_malware::AppClass;
 use serde::{Deserialize, Serialize};
 
 use crate::detector::{Detector, Verdict};
+use crate::error::CoreError;
 
 /// Aggregated run-time decision after one more sampling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,9 +36,13 @@ pub enum OnlineVerdict {
 /// unsalvageable one [abstains](Verdict::Abstain) — it occupies a
 /// history slot but votes neither way, so a burst of counter faults
 /// cannot manufacture (or suppress) an alarm on its own. Optional
-/// [hysteresis](OnlineDetector::with_hysteresis) additionally requires
-/// sustained evidence before raising or clearing the alarm, preventing
-/// transient faults from flapping it.
+/// [hysteresis](OnlineDetectorBuilder::hysteresis) additionally
+/// requires sustained evidence before raising or clearing the alarm,
+/// preventing transient faults from flapping it.
+///
+/// Alarm raise/clear transitions are recorded as
+/// `online.alarms_raised` / `online.alarms_cleared` counters in the
+/// installed [`hbmd_obs`] context.
 ///
 /// # Examples
 ///
@@ -47,12 +52,15 @@ pub enum OnlineVerdict {
 /// use hbmd_perf::{Collector, CollectorConfig};
 ///
 /// let catalog = SampleCatalog::scaled(0.02, 3);
-/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let dataset = Collector::new(CollectorConfig::fast())?.collect(&catalog)?.dataset;
 /// let detector = DetectorBuilder::new()
 ///     .classifier(ClassifierKind::J48)
 ///     .train_binary(&dataset)?;
 ///
-/// let mut online = OnlineDetector::new(detector, 4, 3);
+/// let mut online = OnlineDetector::builder(detector)
+///     .window(4)
+///     .threshold(3)
+///     .build()?;
 /// for row in dataset.rows().iter().take(3) {
 ///     assert_eq!(online.observe(&row.features), OnlineVerdict::Warmup);
 /// }
@@ -76,37 +84,127 @@ pub struct OnlineDetector {
     latched: Option<(AppClass, usize)>,
 }
 
+/// Builder for [`OnlineDetector`]: voting window, alarm threshold, and
+/// optional hysteresis, validated at [`OnlineDetectorBuilder::build`]
+/// time instead of panicking.
+///
+/// Defaults match the latency experiment's reference setup: a window of
+/// 4 verdicts, 3 malicious votes to alarm, no hysteresis.
+#[derive(Debug, Clone)]
+pub struct OnlineDetectorBuilder {
+    detector: Detector,
+    window: usize,
+    threshold: usize,
+    raise_after: usize,
+    clear_after: usize,
+}
+
+impl OnlineDetectorBuilder {
+    /// Start from a trained detector with the default window/threshold.
+    pub fn new(detector: Detector) -> OnlineDetectorBuilder {
+        OnlineDetectorBuilder {
+            detector,
+            window: 4,
+            threshold: 3,
+            raise_after: 1,
+            clear_after: 1,
+        }
+    }
+
+    /// Number of recent verdicts voted over.
+    pub fn window(mut self, window: usize) -> OnlineDetectorBuilder {
+        self.window = window;
+        self
+    }
+
+    /// Malicious votes (within the window) required to alarm.
+    pub fn threshold(mut self, threshold: usize) -> OnlineDetectorBuilder {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Alarm hysteresis: raise only after `raise_after` consecutive
+    /// over-threshold decisions; once raised, clear only after
+    /// `clear_after` consecutive clean decisions. `(1, 1)` (the
+    /// default) is the plain majority-vote behaviour.
+    pub fn hysteresis(mut self, raise_after: usize, clear_after: usize) -> OnlineDetectorBuilder {
+        self.raise_after = raise_after;
+        self.clear_after = clear_after;
+        self
+    }
+
+    /// Validate and build the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when the window is zero, the
+    /// threshold exceeds the window, or either hysteresis count is
+    /// zero.
+    pub fn build(self) -> Result<OnlineDetector, CoreError> {
+        if self.window == 0 {
+            return Err(CoreError::Config("window must be non-zero".to_owned()));
+        }
+        if self.threshold > self.window {
+            return Err(CoreError::Config(format!(
+                "threshold {} cannot exceed the window {}",
+                self.threshold, self.window
+            )));
+        }
+        if self.raise_after == 0 || self.clear_after == 0 {
+            return Err(CoreError::Config(
+                "hysteresis counts must be non-zero".to_owned(),
+            ));
+        }
+        Ok(OnlineDetector {
+            detector: self.detector,
+            window: self.window,
+            threshold: self.threshold,
+            history: VecDeque::with_capacity(self.window),
+            raise_after: self.raise_after,
+            clear_after: self.clear_after,
+            alarm_streak: 0,
+            clean_streak: 0,
+            latched: None,
+        })
+    }
+}
+
 impl OnlineDetector {
+    /// Start building a monitor around a trained detector.
+    pub fn builder(detector: Detector) -> OnlineDetectorBuilder {
+        OnlineDetectorBuilder::new(detector)
+    }
+
     /// Wrap a trained detector with a voting window of `window` recent
     /// verdicts; `threshold` malicious votes raise the alarm.
     ///
     /// # Panics
     ///
     /// Panics when `window` is zero or `threshold` exceeds `window`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OnlineDetector::builder(detector).window(..).threshold(..).build()`"
+    )]
     pub fn new(detector: Detector, window: usize, threshold: usize) -> OnlineDetector {
-        assert!(window > 0, "window must be non-zero");
-        assert!(threshold <= window, "threshold cannot exceed the window");
-        OnlineDetector {
-            detector,
-            window,
-            threshold,
-            history: VecDeque::with_capacity(window),
-            raise_after: 1,
-            clear_after: 1,
-            alarm_streak: 0,
-            clean_streak: 0,
-            latched: None,
+        match OnlineDetectorBuilder::new(detector)
+            .window(window)
+            .threshold(threshold)
+            .build()
+        {
+            Ok(online) => online,
+            Err(e) => panic!("invalid online detector: {e}"),
         }
     }
 
-    /// Add alarm hysteresis: the alarm raises only after `raise_after`
-    /// consecutive over-threshold decisions and, once raised, clears
-    /// only after `clear_after` consecutive clean decisions. The
-    /// default `(1, 1)` is the plain majority-vote behaviour.
+    /// Add alarm hysteresis after construction.
     ///
     /// # Panics
     ///
     /// Panics when either count is zero.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OnlineDetectorBuilder::hysteresis` before `build()`"
+    )]
     pub fn with_hysteresis(mut self, raise_after: usize, clear_after: usize) -> OnlineDetector {
         assert!(raise_after > 0, "raise_after must be non-zero");
         assert!(clear_after > 0, "clear_after must be non-zero");
@@ -132,6 +230,7 @@ impl OnlineDetector {
             self.history.pop_front();
         }
         self.history.push_back(verdict);
+        let was_latched = self.latched.is_some();
 
         match self.raw_decision() {
             OnlineVerdict::Alarm { family, votes, .. } => {
@@ -151,6 +250,13 @@ impl OnlineDetector {
                 }
             }
             OnlineVerdict::Warmup => {}
+        }
+        // Count latch *transitions* (the hysteresis state machine's
+        // edges), not alarm decisions — a held alarm is one raise.
+        if self.latched.is_some() && !was_latched {
+            hbmd_obs::incr("online.alarms_raised");
+        } else if was_latched && self.latched.is_none() {
+            hbmd_obs::incr("online.alarms_cleared");
         }
         self.decision()
     }
@@ -233,7 +339,11 @@ mod tests {
 
     fn trained() -> Detector {
         let catalog = SampleCatalog::scaled(0.03, 17);
-        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let dataset = Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset;
         DetectorBuilder::new()
             .classifier(ClassifierKind::J48)
             .train_binary(&dataset)
@@ -242,7 +352,11 @@ mod tests {
 
     #[test]
     fn warmup_then_decision() {
-        let mut online = OnlineDetector::new(trained(), 3, 2);
+        let mut online = OnlineDetector::builder(trained())
+            .window(3)
+            .threshold(2)
+            .build()
+            .expect("valid monitor");
         let sampler = Sampler::new(SamplerConfig::fast()).expect("sampler");
         let worm = Sample::generate(SampleId(900), hbmd_malware::AppClass::Worm, 23);
         let windows = sampler.collect_sample(&worm);
@@ -254,7 +368,11 @@ mod tests {
 
     #[test]
     fn sustained_malware_raises_an_alarm() {
-        let mut online = OnlineDetector::new(trained(), 4, 3);
+        let mut online = OnlineDetector::builder(trained())
+            .window(4)
+            .threshold(3)
+            .build()
+            .expect("valid monitor");
         let sampler = Sampler::new(SamplerConfig {
             windows_per_sample: 12,
             ..SamplerConfig::fast()
@@ -272,7 +390,11 @@ mod tests {
 
     #[test]
     fn benign_stream_stays_clean_mostly() {
-        let mut online = OnlineDetector::new(trained(), 4, 4);
+        let mut online = OnlineDetector::builder(trained())
+            .window(4)
+            .threshold(4)
+            .build()
+            .expect("valid monitor");
         let sampler = Sampler::new(SamplerConfig {
             windows_per_sample: 12,
             ..SamplerConfig::fast()
@@ -289,7 +411,11 @@ mod tests {
 
     #[test]
     fn reset_returns_to_warmup() {
-        let mut online = OnlineDetector::new(trained(), 2, 1);
+        let mut online = OnlineDetector::builder(trained())
+            .window(2)
+            .threshold(1)
+            .build()
+            .expect("valid monitor");
         let sampler = Sampler::new(SamplerConfig::fast()).expect("sampler");
         let sample = Sample::generate(SampleId(903), hbmd_malware::AppClass::Virus, 37);
         let windows = sampler.collect_sample(&sample);
@@ -301,8 +427,26 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_bad_shapes() {
+        assert!(OnlineDetector::builder(trained())
+            .window(0)
+            .build()
+            .is_err());
+        assert!(OnlineDetector::builder(trained())
+            .window(2)
+            .threshold(3)
+            .build()
+            .is_err());
+        assert!(OnlineDetector::builder(trained())
+            .hysteresis(0, 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "threshold")]
-    fn threshold_above_window_panics() {
+    fn deprecated_constructor_still_panics_on_bad_threshold() {
         let _ = OnlineDetector::new(trained(), 2, 3);
     }
 
@@ -311,7 +455,11 @@ mod tests {
         use hbmd_events::{FeatureVector, HpcEvent};
         // Threshold 2 of 4: even if garbage windows were guessed
         // malicious they would trip the alarm; abstention must not.
-        let mut online = OnlineDetector::new(trained(), 4, 2);
+        let mut online = OnlineDetector::builder(trained())
+            .window(4)
+            .threshold(2)
+            .build()
+            .expect("valid monitor");
         let garbage = FeatureVector::from_slice(&[f64::NAN; HpcEvent::COUNT]).expect("16");
         for _ in 0..8 {
             let decision = online.observe(&garbage);
@@ -337,7 +485,12 @@ mod tests {
         let benign_windows = sampler.collect_sample(&benign);
 
         // raise_after 2: a single over-threshold decision is suppressed.
-        let mut online = OnlineDetector::new(detector.clone(), 2, 1).with_hysteresis(2, 3);
+        let mut online = OnlineDetector::builder(detector.clone())
+            .window(2)
+            .threshold(1)
+            .hysteresis(2, 3)
+            .build()
+            .expect("valid monitor");
         let mut first_alarm_at = None;
         let mut raw_alarms = 0;
         for (i, window) in worm_windows.iter().enumerate() {
@@ -380,7 +533,11 @@ mod tests {
         let sample = Sample::generate(SampleId(907), hbmd_malware::AppClass::Rootkit, 47);
         let windows = sampler.collect_sample(&sample);
         let run = || {
-            let mut online = OnlineDetector::new(detector.clone(), 3, 1);
+            let mut online = OnlineDetector::builder(detector.clone())
+                .window(3)
+                .threshold(1)
+                .build()
+                .expect("valid monitor");
             windows
                 .iter()
                 .map(|w| online.observe(w))

@@ -57,7 +57,7 @@ impl SanitizeOutcome {
 }
 
 /// Screens sampling windows against statistics of the training split;
-/// see the [module docs](self) for the policy.
+/// the module-level docs describe the imputation/abstention policy.
 ///
 /// # Examples
 ///
@@ -67,7 +67,11 @@ impl SanitizeOutcome {
 /// use hbmd_perf::{Collector, CollectorConfig};
 ///
 /// let catalog = SampleCatalog::scaled(0.02, 3);
-/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let dataset = Collector::new(CollectorConfig::fast())
+///     .expect("static config")
+///     .collect(&catalog)
+///     .expect("pristine pipeline")
+///     .dataset;
 /// let sanitizer = Sanitizer::fit(&dataset);
 ///
 /// let clean = &dataset.rows()[0].features;
@@ -182,7 +186,11 @@ mod tests {
 
     fn fitted() -> (HpcDataset, Sanitizer) {
         let catalog = SampleCatalog::scaled(0.02, 5);
-        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let dataset = Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset;
         let sanitizer = Sanitizer::fit(&dataset);
         (dataset, sanitizer)
     }

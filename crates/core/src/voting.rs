@@ -24,7 +24,7 @@ use crate::suite::ClassifierKind;
 /// use hbmd_perf::{Collector, CollectorConfig};
 ///
 /// let catalog = SampleCatalog::scaled(0.02, 7);
-/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+/// let dataset = Collector::new(CollectorConfig::fast())?.collect(&catalog)?.dataset;
 /// let committee = VotingDetector::train_binary(
 ///     &[ClassifierKind::OneR, ClassifierKind::J48, ClassifierKind::NaiveBayes],
 ///     FeatureSet::Top(8),
@@ -131,7 +131,11 @@ mod tests {
 
     fn dataset() -> HpcDataset {
         let catalog = SampleCatalog::scaled(0.03, 61);
-        Collector::new(CollectorConfig::fast()).collect(&catalog)
+        Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset
     }
 
     #[test]

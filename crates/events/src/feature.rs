@@ -48,6 +48,7 @@ impl FeatureVector {
     where
         F: Fn(HpcEvent) -> f64,
     {
+        hbmd_obs::incr("events.feature_vectors_built");
         let mut values = [0.0; HpcEvent::COUNT];
         for event in HpcEvent::ALL {
             values[event.index()] = counts[event] as f64 * scale(event);

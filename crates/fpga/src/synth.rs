@@ -105,6 +105,8 @@ pub fn synthesize(spec: &DatapathSpec, config: &SynthConfig) -> HwReport {
     if let Err(msg) = config.validate() {
         panic!("invalid synth config: {msg}");
     }
+    let _span = hbmd_obs::span!("fpga.synthesize", stages = spec.stages.len());
+    hbmd_obs::incr("fpga.designs_synthesized");
     let w = config.word_bits;
     let fold = config.sharing_factor;
     let mut resources = ResourceEstimate::default();

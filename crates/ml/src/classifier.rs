@@ -48,6 +48,27 @@ pub trait Classifier {
     }
 }
 
+/// Train `classifier` on `data`, recording a `train_ns` latency
+/// observation and a `classifiers_fit` count labelled with the scheme
+/// name — the instrumented funnel the experiment suites train through.
+///
+/// # Errors
+///
+/// Propagates the classifier's training error.
+pub fn fit_timed<C: Classifier + ?Sized>(
+    classifier: &mut C,
+    data: &Dataset,
+) -> Result<(), MlError> {
+    let scheme = classifier.name().to_owned();
+    let latency = hbmd_obs::timer_with("train_ns", &[("scheme", &scheme)]);
+    let result = classifier.fit(data);
+    latency.stop();
+    if result.is_ok() {
+        hbmd_obs::counter_with("classifiers_fit", &[("scheme", &scheme)]).incr();
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,10 +158,13 @@ impl Evaluation {
 
     /// Evaluate `classifier` (already trained) on `test`.
     pub fn of<C: Classifier + ?Sized>(classifier: &C, test: &Dataset) -> Evaluation {
+        let latency = hbmd_obs::timer_with("predict_ns", &[("scheme", classifier.name())]);
+        hbmd_obs::add("eval.instances", test.len() as u64);
         let mut confusion = ConfusionMatrix::new(test.class_names().to_vec());
         for (row, label) in test.iter() {
             confusion.record(label, classifier.predict(row));
         }
+        latency.stop();
         Evaluation {
             scheme: classifier.name().to_owned(),
             confusion,
@@ -179,7 +182,7 @@ impl Evaluation {
         train: &Dataset,
         test: &Dataset,
     ) -> Result<Evaluation, MlError> {
-        classifier.fit(train)?;
+        crate::classifier::fit_timed(classifier, train)?;
         Ok(Evaluation::of(classifier, test))
     }
 

@@ -56,7 +56,7 @@ pub mod par;
 mod pca;
 mod roc;
 
-pub use classifier::Classifier;
+pub use classifier::{fit_timed, Classifier};
 pub use classifiers::ibk::Ibk;
 pub use classifiers::j48::J48;
 pub use classifiers::jrip::{Condition, JRip, Rule};

@@ -49,6 +49,9 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = threads.min(items.len()).max(1);
+    // Item count is thread-count-independent; chunk counts are not, so
+    // only the former is recorded.
+    hbmd_obs::add("par.items", items.len() as u64);
     if threads == 1 {
         return items
             .iter()

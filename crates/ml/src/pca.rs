@@ -66,6 +66,8 @@ impl Pca {
         if data.is_empty() {
             return Err(MlError::EmptyDataset);
         }
+        let _span = hbmd_obs::span!("pca.fit", rows = data.len());
+        hbmd_obs::incr("pca.fits");
         let standardize = Standardize::fit(data);
         let rows: Vec<Vec<f64>> = data
             .rows()

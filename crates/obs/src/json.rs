@@ -1,0 +1,52 @@
+//! Minimal JSON rendering helpers.
+//!
+//! The workspace vendors no JSON serializer, so the observability
+//! artefacts (metrics snapshots, span event lines, run manifests)
+//! render themselves through these two primitives.
+
+/// A JSON string literal with the mandatory escapes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number for an `f64` (`null` for NaN/infinity, which JSON
+/// cannot represent).
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_control_characters() {
+        assert_eq!(string("a\"b\\c\nd\u{2}"), "\"a\\\"b\\\\c\\nd\\u0002\"");
+        assert_eq!(string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(float(0.25), "0.25");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+    }
+}

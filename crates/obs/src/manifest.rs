@@ -1,0 +1,196 @@
+//! Run manifests: the identity card emitted next to every experiment
+//! output, so any result is attributable to an exact configuration.
+//!
+//! A [`RunManifest`] captures *what* ran — tool, version, catalog
+//! scale, seeds, thread counts, a digest of the full configuration,
+//! and the crate versions involved. Everything in the manifest body is
+//! deterministic for a given invocation; the only time-dependent data
+//! lives in the segregated [`WallClock`] section, so byte-comparison
+//! harnesses can mask exactly one sub-object.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json;
+
+/// 64-bit FNV-1a hash — the configuration digest primitive.
+///
+/// Stable across platforms and releases (the constants are fixed by the
+/// FNV specification), so a digest in an old manifest can be checked
+/// against a reconstructed configuration.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Wall-clock facts about a run — segregated from the deterministic
+/// manifest body so output-comparison tests can mask them wholesale.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WallClock {
+    /// Milliseconds since the Unix epoch at run start.
+    pub started_unix_ms: u128,
+    /// End-to-end run duration in milliseconds.
+    pub total_ms: u128,
+}
+
+impl WallClock {
+    /// A wall clock stamped with the current time.
+    pub fn now() -> WallClock {
+        WallClock {
+            started_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0),
+            total_ms: 0,
+        }
+    }
+}
+
+/// The identity card of one experiment run.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_obs::manifest::{fnv1a_64, RunManifest};
+///
+/// let mut manifest = RunManifest::new("repro", "0.1.0");
+/// manifest.scale = 0.1;
+/// manifest.threads = 8;
+/// manifest.seeds.push(("catalog".to_owned(), 2018));
+/// manifest.config_digest = fnv1a_64(b"CollectorConfig { .. }");
+/// let json = manifest.to_json();
+/// assert!(json.contains("\"tool\": \"repro\""));
+/// assert!(json.contains("\"wall\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Emitting binary or harness name.
+    pub tool: String,
+    /// Tool version (usually `CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Catalog scale of the run (1.0 = the paper's full catalog).
+    pub scale: f64,
+    /// Experiment-layer worker threads.
+    pub threads: usize,
+    /// Collection-pipeline worker threads.
+    pub collector_threads: usize,
+    /// Named seeds the run consumed (catalog, split, fault...).
+    pub seeds: Vec<(String, u64)>,
+    /// FNV-1a digest of the full serialized configuration.
+    pub config_digest: u64,
+    /// Crate names and versions baked into the binary.
+    pub crates: Vec<(String, String)>,
+    /// Experiments executed, in run order.
+    pub experiments: Vec<String>,
+    /// Time-dependent facts, segregated for maskability.
+    pub wall: WallClock,
+}
+
+impl RunManifest {
+    /// An empty manifest for `tool` at `version`.
+    pub fn new(tool: impl Into<String>, version: impl Into<String>) -> RunManifest {
+        RunManifest {
+            tool: tool.into(),
+            version: version.into(),
+            scale: 1.0,
+            threads: 1,
+            collector_threads: 1,
+            seeds: Vec::new(),
+            config_digest: 0,
+            crates: Vec::new(),
+            experiments: Vec::new(),
+            wall: WallClock::now(),
+        }
+    }
+
+    /// Render as a JSON object. The deterministic body comes first;
+    /// the only time-dependent values sit under the final `"wall"` key.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"tool\": {},\n", json::string(&self.tool)));
+        out.push_str(&format!(
+            "  \"version\": {},\n",
+            json::string(&self.version)
+        ));
+        out.push_str(&format!("  \"scale\": {},\n", json::float(self.scale)));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"collector_threads\": {},\n",
+            self.collector_threads
+        ));
+        out.push_str("  \"seeds\": {");
+        for (i, (name, seed)) in self.seeds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json::string(name), seed));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("  \"config_digest\": {},\n", self.config_digest));
+        out.push_str("  \"crates\": {");
+        for (i, (name, version)) in self.crates.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{}: {}",
+                json::string(name),
+                json::string(version)
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"experiments\": [");
+        for (i, name) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json::string(name));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"wall\": {{\"started_unix_ms\": {}, \"total_ms\": {}}}\n",
+            self.wall.started_unix_ms, self.wall.total_ms
+        ));
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_renders_balanced_json_with_segregated_wall() {
+        let mut manifest = RunManifest::new("repro", "0.1.0");
+        manifest.scale = 0.05;
+        manifest.threads = 4;
+        manifest.collector_threads = 8;
+        manifest.seeds = vec![("catalog".to_owned(), 2018), ("split".to_owned(), 42)];
+        manifest.crates = vec![("hbmd-obs".to_owned(), "0.1.0".to_owned())];
+        manifest.experiments = vec!["table1".to_owned(), "fig13".to_owned()];
+        manifest.config_digest = fnv1a_64(b"cfg");
+        let json = manifest.to_json();
+        assert!(json.contains("\"seeds\": {\"catalog\": 2018, \"split\": 42}"));
+        assert!(json.contains("\"experiments\": [\"table1\", \"fig13\"]"));
+        assert!(json.contains("\"wall\": {\"started_unix_ms\": "));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // Everything above the wall section is reproducible: two
+        // manifests built the same way differ only in `wall`.
+        let deterministic_part = json.split("\"wall\"").next().expect("prefix");
+        assert!(!deterministic_part.contains("unix"));
+    }
+}

@@ -1,0 +1,647 @@
+//! Typed metrics: counters, gauges, and histograms in a thread-safe
+//! [`Registry`].
+//!
+//! All aggregation is atomic **integer** arithmetic — adds commute, so
+//! a total is exact and identical no matter how many `par_map` workers
+//! contributed or in what order they ran. Histograms bucket values by
+//! bit length (powers of two), which keeps quantile estimates
+//! deterministic too. Wall-clock histograms (created via
+//! [`Registry::timing`]) carry a `wall_clock` marker so
+//! [`MetricsSnapshot::deterministic`] can strip them from
+//! byte-comparison fingerprints.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::json;
+
+/// Number of power-of-two histogram buckets (bit lengths 0..=64).
+const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` occurrences.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one occurrence.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (thread counts, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Record the current value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The last recorded value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A distribution of unsigned integer observations in power-of-two
+/// buckets, with exact count/sum/min/max.
+///
+/// Bucketing by bit length makes every derived statistic a pure
+/// function of the multiset of recorded values — independent of
+/// recording order and thread interleaving.
+#[derive(Debug)]
+pub struct Histogram {
+    wall_clock: bool,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    fn new(wall_clock: bool) -> Histogram {
+        Histogram {
+            wall_clock,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// `true` when the histogram holds wall-clock (non-deterministic)
+    /// data, e.g. latencies recorded by [`timer`](crate::timer).
+    pub fn is_wall_clock(&self) -> bool {
+        self.wall_clock
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str, labels: &[(String, String)]) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (bits, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Upper bound of the bucket: values of this bit
+                    // length are < 2^bits (bucket 0 holds only zero).
+                    return if bits == 0 { 0 } else { (1u64 << bits) - 1 };
+                }
+            }
+            self.max.load(Ordering::Relaxed)
+        };
+        HistogramSnapshot {
+            name: name.to_owned(),
+            labels: labels.to_vec(),
+            wall_clock: self.wall_clock,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+type Key = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    (
+        name.to_owned(),
+        labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect(),
+    )
+}
+
+/// A thread-safe collection of named, optionally labelled metrics.
+///
+/// Handles returned by the accessors are `Arc`s; hot paths may cache
+/// them to skip the registry lookup. Iteration order in snapshots is
+/// the key order (`BTreeMap`), so renderings are stable.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<Key, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The named counter (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The named, labelled counter (created on first use).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(key(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The named gauge (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The named, labelled gauge (created on first use).
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(key(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The named exact (deterministic-domain) histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_inner(name, &[], false)
+    }
+
+    /// The named, labelled exact histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_inner(name, labels, false)
+    }
+
+    /// The named wall-clock histogram (latencies; excluded from
+    /// deterministic fingerprints).
+    pub fn timing(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_inner(name, &[], true)
+    }
+
+    /// The named, labelled wall-clock histogram.
+    pub fn timing_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_inner(name, labels, true)
+    }
+
+    fn histogram_inner(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        wall_clock: bool,
+    ) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(key(name, labels))
+                .or_insert_with(|| Arc::new(Histogram::new(wall_clock))),
+        )
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|((name, labels), c)| CounterSnapshot {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|((name, labels), g)| GaugeSnapshot {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|((name, labels), h)| h.snapshot(name, labels))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter's state in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Metric labels, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Total at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge's state in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Metric labels, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Last recorded value.
+    pub value: i64,
+}
+
+/// One histogram's state in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Metric labels, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// `true` for wall-clock (latency) data.
+    pub wall_clock: bool,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median estimate (power-of-two bucket upper bound).
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// A point-in-time copy of a [`Registry`], renderable as JSON or a
+/// summary table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, in stable key order.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, in stable key order.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, in stable key order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of every counter with this name, across all label sets
+    /// (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The last recorded value of the named, unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels.is_empty())
+            .map(|g| g.value)
+    }
+
+    /// The named histogram with exactly these labels.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && eq_labels(&h.labels, labels))
+    }
+
+    /// The deterministic subset: counters and exact histograms only.
+    ///
+    /// Gauges (often set to environment-dependent values like thread
+    /// counts) and wall-clock histograms are stripped; what remains is
+    /// byte-identical across runs and thread counts for a deterministic
+    /// workload.
+    pub fn deterministic(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: Vec::new(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| !h.wall_clock)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Render as a JSON object with `counters`, `gauges` and
+    /// `histograms` arrays.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        push_entries(&mut out, &self.counters, |c| {
+            format!(
+                "{{\"name\": {}, {}\"value\": {}}}",
+                json::string(&c.name),
+                labels_json(&c.labels),
+                c.value
+            )
+        });
+        out.push_str("],\n  \"gauges\": [");
+        push_entries(&mut out, &self.gauges, |g| {
+            format!(
+                "{{\"name\": {}, {}\"value\": {}}}",
+                json::string(&g.name),
+                labels_json(&g.labels),
+                g.value
+            )
+        });
+        out.push_str("],\n  \"histograms\": [");
+        push_entries(&mut out, &self.histograms, |h| {
+            format!(
+                "{{\"name\": {}, {}\"wall_clock\": {}, \"count\": {}, \"sum\": {}, \
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json::string(&h.name),
+                labels_json(&h.labels),
+                h.wall_clock,
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            )
+        });
+        out.push_str("]\n}");
+        out
+    }
+
+    /// Render as a human-readable summary table (the `repro` binary's
+    /// end-of-run report): counters first, then gauges, then histograms
+    /// with their quantile estimates. Wall-clock histograms are marked
+    /// `[wall]`.
+    pub fn summary(&self) -> String {
+        fn key(name: &str, labels: &[(String, String)]) -> String {
+            if labels.is_empty() {
+                return name.to_owned();
+            }
+            let rendered: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{name}{{{}}}", rendered.join(","))
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|c| key(&c.name, &c.labels).len())
+            .chain(self.gauges.iter().map(|g| key(&g.name, &g.labels).len()))
+            .chain(
+                self.histograms
+                    .iter()
+                    .map(|h| key(&h.name, &h.labels).len()),
+            )
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for c in &self.counters {
+                out.push_str(&format!(
+                    "  {:<width$}  {}\n",
+                    key(&c.name, &c.labels),
+                    c.value
+                ));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for g in &self.gauges {
+                out.push_str(&format!(
+                    "  {:<width$}  {}\n",
+                    key(&g.name, &g.labels),
+                    g.value
+                ));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<width$}  count={} p50={} p95={} p99={} max={}{}\n",
+                    key(&h.name, &h.labels),
+                    h.count,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max,
+                    if h.wall_clock { " [wall]" } else { "" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn eq_labels(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+fn labels_json(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json::string(k), json::string(v)))
+        .collect();
+    format!("\"labels\": {{{}}}, ", body.join(", "))
+}
+
+fn push_entries<T>(out: &mut String, entries: &[T], render: impl Fn(&T) -> String) {
+    for (i, entry) in entries.iter().enumerate() {
+        out.push_str("\n    ");
+        out.push_str(&render(entry));
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sum_across_labels() {
+        let registry = Registry::new();
+        registry.counter("verdict").add(2);
+        registry
+            .counter_with("verdict", &[("kind", "malware")])
+            .add(3);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("verdict"), 5);
+        assert_eq!(snapshot.counter("missing"), 0);
+    }
+
+    #[test]
+    fn same_name_and_labels_share_one_counter() {
+        let registry = Registry::new();
+        let a = registry.counter_with("x", &[("k", "v")]);
+        let b = registry.counter_with("x", &[("k", "v")]);
+        a.add(1);
+        b.add(1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn histogram_statistics_are_exact_and_order_independent() {
+        let forward = Registry::new();
+        let backward = Registry::new();
+        let values = [1u64, 2, 3, 100, 1000, 0, 7];
+        for &v in &values {
+            forward.histogram("h").record(v);
+        }
+        for &v in values.iter().rev() {
+            backward.histogram("h").record(v);
+        }
+        let f = forward.snapshot();
+        let b = backward.snapshot();
+        assert_eq!(f, b);
+        let h = f.histogram("h", &[]).expect("histogram");
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1113);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!(!h.wall_clock);
+        assert!(h.p50 >= 2 && h.p50 <= 7, "p50 {}", h.p50);
+        assert!(h.p99 >= 1000, "p99 {}", h.p99);
+    }
+
+    #[test]
+    fn parallel_recording_is_thread_count_independent() {
+        let totals: Vec<MetricsSnapshot> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let registry = Registry::new();
+                std::thread::scope(|scope| {
+                    for worker in 0..threads {
+                        let registry = &registry;
+                        scope.spawn(move || {
+                            for i in 0..1000usize {
+                                if i % threads == worker {
+                                    registry.counter("n").incr();
+                                    registry.histogram("v").record(i as u64);
+                                }
+                            }
+                        });
+                    }
+                });
+                registry.snapshot()
+            })
+            .collect();
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[0].counter("n"), 1000);
+    }
+
+    #[test]
+    fn deterministic_view_strips_wall_clock_and_gauges() {
+        let registry = Registry::new();
+        registry.counter("c").incr();
+        registry.gauge("g").set(8);
+        registry.histogram("exact").record(5);
+        registry.timing("latency").record(123);
+        let det = registry.snapshot().deterministic();
+        assert_eq!(det.counters.len(), 1);
+        assert!(det.gauges.is_empty());
+        assert_eq!(det.histograms.len(), 1);
+        assert_eq!(det.histograms[0].name, "exact");
+    }
+
+    #[test]
+    fn snapshot_renders_json_with_balanced_braces() {
+        let registry = Registry::new();
+        registry.counter_with("c", &[("k", "v\"q")]).add(1);
+        registry.gauge("g").set(-3);
+        registry.timing("t").record(10);
+        let json = registry.snapshot().to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"v\\\"q\""));
+        assert!(json.contains("\"wall_clock\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let registry = Registry::new();
+        let _ = registry.histogram("h");
+        let snapshot = registry.snapshot();
+        let h = snapshot.histogram("h", &[]).expect("histogram");
+        assert_eq!((h.count, h.sum, h.min, h.max, h.p50), (0, 0, 0, 0, 0));
+    }
+}

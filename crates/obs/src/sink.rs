@@ -1,0 +1,186 @@
+//! Span sinks: where closed spans go.
+//!
+//! The default [`Obs`](crate::Obs) context has no sinks — spans cost a
+//! thread-local push/pop and nothing else. Harnesses attach:
+//!
+//! * [`MemorySink`] — buffers records in memory for test assertions,
+//! * [`JsonlSink`] — appends one JSON object per span to a file, the
+//!   `repro --trace-jsonl` event log.
+//!
+//! Sinks receive records from every thread; implementations must be
+//! `Send + Sync` and do their own locking.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+use crate::span::SpanRecord;
+
+/// A consumer of closed spans.
+pub trait SpanSink: Send + Sync {
+    /// Deliver one closed span.
+    fn record(&self, span: &SpanRecord);
+
+    /// Write buffered data through.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, if any.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that drops everything — useful to measure sink overhead or
+/// as an explicit "no tracing" marker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl SpanSink for NoopSink {
+    fn record(&self, _span: &SpanRecord) {}
+}
+
+/// An in-memory sink for tests: buffers every record, in close order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far, in close order (inner
+    /// spans close before their parents).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Records with the given span name.
+    pub fn named(&self, name: &str) -> Vec<SpanRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.name == name)
+            .collect()
+    }
+
+    /// Number of records buffered.
+    pub fn len(&self) -> usize {
+        self.records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all buffered records.
+    pub fn clear(&self) {
+        self.records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}
+
+impl SpanSink for MemorySink {
+    fn record(&self, span: &SpanRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(span.clone());
+    }
+}
+
+/// A sink that appends one JSON object per closed span to a file —
+/// the format behind `repro --trace-jsonl`.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl SpanSink for JsonlSink {
+    fn record(&self, span: &SpanRecord) {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // A full event log on a dying disk must not take the
+        // experiment down with it; errors surface at flush.
+        let _ = writeln!(writer, "{}", span.to_json_line());
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::FieldValue;
+
+    fn record(name: &str) -> SpanRecord {
+        SpanRecord {
+            id: 1,
+            parent: None,
+            depth: 0,
+            name: name.to_owned(),
+            fields: vec![("k".to_owned(), FieldValue::Uint(9))],
+            start_ns: 0,
+            duration_ns: 5,
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_filters() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&record("a"));
+        sink.record(&record("b"));
+        sink.record(&record("a"));
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.named("a").len(), 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_span() {
+        let dir = std::env::temp_dir().join("hbmd_obs_sink_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+        sink.record(&record("x"));
+        sink.record(&record("y"));
+        sink.flush().expect("flush");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\": \"x\""));
+        assert!(lines[1].contains("\"k\": 9"));
+        std::fs::remove_file(&path).ok();
+    }
+}

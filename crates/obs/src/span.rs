@@ -1,0 +1,338 @@
+//! Hierarchical spans with monotonic timings.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed
+//! when its guard drops; the closed [`SpanRecord`] — name, fields,
+//! parent linkage, depth, and monotonic start/duration — is dispatched
+//! to every sink of the installed [`Obs`](crate::Obs) context. Nesting
+//! is tracked per thread: a span opened on a `par_map` worker has no
+//! parent (its logical parent lives on another thread), which the event
+//! log makes visible rather than guessing.
+//!
+//! Span timings are wall-clock data; they belong to the
+//! non-deterministic domain and never feed the metrics registry's
+//! exact counters.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::json;
+
+/// A span or metric field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text.
+    Str(String),
+}
+
+impl FieldValue {
+    /// Render as a JSON value.
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::Int(v) => v.to_string(),
+            FieldValue::Uint(v) => v.to_string(),
+            FieldValue::Float(v) => json::float(*v),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(v) => json::string(v),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Int(v) => write!(f, "{v}"),
+            FieldValue::Uint(v) => write!(f, "{v}"),
+            FieldValue::Float(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> FieldValue {
+        FieldValue::Int(v.into())
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::Uint(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::Uint(v.into())
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::Uint(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// A closed span, as delivered to [`SpanSink`](crate::sink::SpanSink)s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth on the opening thread (0 = top level).
+    pub depth: usize,
+    /// Span name as given to [`span!`](crate::span!).
+    pub name: String,
+    /// Key/value fields attached at open time.
+    pub fields: Vec<(String, FieldValue)>,
+    /// Monotonic nanoseconds from the process's observability epoch to
+    /// the span opening.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl SpanRecord {
+    /// Render as one JSONL event line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"type\": \"span\", \"name\": ");
+        out.push_str(&json::string(&self.name));
+        out.push_str(&format!(", \"id\": {}", self.id));
+        match self.parent {
+            Some(parent) => out.push_str(&format!(", \"parent\": {parent}")),
+            None => out.push_str(", \"parent\": null"),
+        }
+        out.push_str(&format!(", \"depth\": {}", self.depth));
+        out.push_str(", \"fields\": {");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json::string(k));
+            out.push_str(": ");
+            out.push_str(&v.to_json());
+        }
+        out.push('}');
+        out.push_str(&format!(
+            ", \"start_ns\": {}, \"duration_ns\": {}}}",
+            self.start_ns, self.duration_ns
+        ));
+        out
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a span; prefer the [`span!`](crate::span!) macro, which
+/// stringifies field names for you.
+pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+    let id = next_id();
+    let (parent, depth) = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        let depth = stack.len();
+        stack.push(id);
+        (parent, depth)
+    });
+    SpanGuard {
+        id,
+        parent,
+        depth,
+        name,
+        fields,
+        start: Instant::now(),
+        start_ns: saturating_ns(epoch().elapsed().as_nanos()),
+    }
+}
+
+fn saturating_ns(nanos: u128) -> u64 {
+    nanos.min(u64::MAX as u128) as u64
+}
+
+/// Live span handle returned by [`span!`](crate::span!); closing (drop)
+/// emits the [`SpanRecord`] to the installed sinks.
+#[derive(Debug)]
+#[must_use = "an unbound span guard closes immediately"]
+pub struct SpanGuard {
+    id: u64,
+    parent: Option<u64>,
+    depth: usize,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+    start: Instant,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// The span's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach another field after opening.
+    pub fn record(&mut self, name: &'static str, value: impl Into<FieldValue>) {
+        self.fields.push((name, value.into()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop in reverse open order within a thread; a
+            // retain keeps the stack correct even if a guard is moved
+            // and outlives a later sibling.
+            stack.retain(|&id| id != self.id);
+        });
+        if !crate::has_sinks() {
+            return;
+        }
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            depth: self.depth,
+            name: self.name.to_owned(),
+            fields: self
+                .fields
+                .drain(..)
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+            start_ns: self.start_ns,
+            duration_ns: saturating_ns(self.start.elapsed().as_nanos()),
+        };
+        crate::dispatch(&record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use crate::{install, Obs};
+    use std::sync::Arc;
+
+    #[test]
+    fn nesting_links_parent_ids_and_depths() {
+        let sink = Arc::new(MemorySink::new());
+        let guard = install(Obs::new().with_sink(sink.clone()));
+        {
+            let _a = crate::span!("outer", n = 1);
+            {
+                let _b = crate::span!("middle");
+                let _c = crate::span!("inner", flag = true);
+            }
+        }
+        let records = sink.records();
+        assert_eq!(records.len(), 3);
+        let inner = &records[0];
+        let middle = &records[1];
+        let outer = &records[2];
+        assert_eq!(
+            (
+                inner.name.as_str(),
+                middle.name.as_str(),
+                outer.name.as_str()
+            ),
+            ("inner", "middle", "outer")
+        );
+        assert_eq!(inner.parent, Some(middle.id));
+        assert_eq!(middle.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!((inner.depth, middle.depth, outer.depth), (2, 1, 0));
+        assert_eq!(outer.field("n"), Some(&FieldValue::Int(1)));
+        drop(guard);
+    }
+
+    #[test]
+    fn spans_without_sinks_cost_no_dispatch() {
+        let guard = install(Obs::new());
+        let _a = crate::span!("quiet");
+        drop(_a);
+        drop(guard);
+        // Nothing to assert beyond "did not panic" — the drop path
+        // short-circuits before building the record.
+    }
+
+    #[test]
+    fn json_line_is_balanced_and_typed() {
+        let record = SpanRecord {
+            id: 7,
+            parent: None,
+            depth: 0,
+            name: "collect".to_owned(),
+            fields: vec![
+                ("sample".to_owned(), FieldValue::Uint(3)),
+                ("tag".to_owned(), FieldValue::Str("a\"b".to_owned())),
+            ],
+            start_ns: 10,
+            duration_ns: 20,
+        };
+        let line = record.to_json_line();
+        assert!(line.contains("\"name\": \"collect\""));
+        assert!(line.contains("\"parent\": null"));
+        assert!(line.contains("\"sample\": 3"));
+        assert!(line.contains("\"a\\\"b\""));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(!line.contains('\n'));
+    }
+}

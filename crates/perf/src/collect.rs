@@ -113,6 +113,29 @@ impl CollectionReport {
     }
 }
 
+/// One collection run: the dataset plus the pipeline telemetry that
+/// produced it.
+///
+/// This is what [`Collector::collect`] returns and what the
+/// experiment-layer collect cache memoizes — dataset and report travel
+/// together so degradation telemetry (quarantined samples, retries,
+/// fault tallies) is never silently discarded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Collection {
+    /// The collected dataset, rows in catalog order.
+    pub dataset: HpcDataset,
+    /// Pipeline telemetry for the run that produced `dataset`.
+    pub report: CollectionReport,
+}
+
+impl Collection {
+    /// Split into `(dataset, report)` — the shape of the deprecated
+    /// tuple-returning API.
+    pub fn into_parts(self) -> (HpcDataset, CollectionReport) {
+        (self.dataset, self.report)
+    }
+}
+
 /// Message prefix of injected worker panics; the quiet panic hook keys
 /// on it so genuine bugs still report normally.
 const INJECTED_PANIC_PREFIX: &str = "injected worker fault";
@@ -152,8 +175,8 @@ struct SampleOutcome {
 ///
 /// Collection is fault-tolerant: a sample whose worker panics is
 /// retried up to [`CollectorConfig::max_retries`] times and quarantined
-/// (not fatal) if it keeps failing — see
-/// [`Collector::collect_with_report`].
+/// (not fatal) if it keeps failing; the [`Collection`] returned by
+/// [`Collector::collect`] carries the full telemetry.
 ///
 /// # Examples
 ///
@@ -162,8 +185,10 @@ struct SampleOutcome {
 /// use hbmd_perf::{Collector, CollectorConfig};
 ///
 /// let catalog = SampleCatalog::scaled(0.01, 3);
-/// let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
-/// assert_eq!(dataset.len(), catalog.len() * 4);
+/// let collector = Collector::new(CollectorConfig::fast()).expect("static config");
+/// let collection = collector.collect(&catalog).expect("pristine pipeline");
+/// assert_eq!(collection.dataset.len(), catalog.len() * 4);
+/// assert!(collection.report.is_clean());
 /// ```
 #[derive(Debug, Clone)]
 pub struct Collector {
@@ -171,27 +196,14 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Build a collector.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the sampler configuration, fault plan, or threshold
-    /// is invalid or `threads` is zero; collection setups are authored
-    /// constants.
-    pub fn new(config: CollectorConfig) -> Collector {
-        match Collector::try_new(config) {
-            Ok(collector) => collector,
-            Err(e) => panic!("invalid collector config: {e}"),
-        }
-    }
-
-    /// Fallible constructor for dynamically-built configurations.
+    /// Build a collector, validating the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`PerfError::Config`] under the same conditions
-    /// [`Collector::new`] panics.
-    pub fn try_new(config: CollectorConfig) -> Result<Collector, PerfError> {
+    /// Returns [`PerfError::Config`] when the sampler configuration,
+    /// fault plan, or failure threshold is invalid or `threads` is
+    /// zero.
+    pub fn new(config: CollectorConfig) -> Result<Collector, PerfError> {
         config.sampler.validate()?;
         if config.threads == 0 {
             return Err(PerfError::Config("threads must be non-zero".to_owned()));
@@ -210,31 +222,25 @@ impl Collector {
         Ok(Collector { config })
     }
 
+    /// Fallible constructor — now just another name for
+    /// [`Collector::new`], which validates too.
+    ///
+    /// # Errors
+    ///
+    /// See [`Collector::new`].
+    #[deprecated(since = "0.2.0", note = "use `Collector::new`, which is now fallible")]
+    pub fn try_new(config: CollectorConfig) -> Result<Collector, PerfError> {
+        Collector::new(config)
+    }
+
     /// The configuration this collector runs with.
     pub fn config(&self) -> &CollectorConfig {
         &self.config
     }
 
-    /// Collect the whole catalog into a labelled dataset, in catalog
-    /// order.
-    ///
-    /// Convenience wrapper over [`Collector::collect_with_report`] that
-    /// discards the report.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the failure rate exceeds
-    /// [`CollectorConfig::failure_threshold`] — callers that want to
-    /// handle degraded collections use `collect_with_report`.
-    pub fn collect(&self, catalog: &SampleCatalog) -> HpcDataset {
-        match self.collect_with_report(catalog) {
-            Ok((dataset, _)) => dataset,
-            Err(e) => panic!("collection failed: {e}"),
-        }
-    }
-
-    /// Collect the whole catalog, reporting quarantined samples, retry
-    /// spend, and fault tallies alongside the dataset.
+    /// Collect the whole catalog into a [`Collection`]: the labelled
+    /// dataset (rows in catalog order) together with the pipeline
+    /// report — quarantined samples, retry spend, and fault tallies.
     ///
     /// Each sample is collected under `catch_unwind`; a panicking
     /// worker loses only that sample's attempt. Failed attempts are
@@ -244,14 +250,22 @@ impl Collector {
     /// `(plan.seed, sample id, attempt)`, so the result is
     /// byte-identical across runs and thread counts.
     ///
+    /// The run is observable: it opens a `collect` span (one
+    /// `collect.sample` child per sample) and records exact
+    /// `windows_collected`, `collect.*`, and `faults_injected{kind}`
+    /// counters into the installed [`hbmd_obs`] context.
+    ///
     /// # Errors
     ///
     /// Returns [`PerfError::DegradedCollection`] when the quarantine
     /// rate exceeds [`CollectorConfig::failure_threshold`].
-    pub fn collect_with_report(
-        &self,
-        catalog: &SampleCatalog,
-    ) -> Result<(HpcDataset, CollectionReport), PerfError> {
+    pub fn collect(&self, catalog: &SampleCatalog) -> Result<Collection, PerfError> {
+        let mut span = hbmd_obs::span!(
+            "collect",
+            samples = catalog.len(),
+            threads = self.config.threads,
+            faulted = self.config.fault.as_ref().is_some_and(|p| !p.is_none()),
+        );
         if self
             .config
             .fault
@@ -308,14 +322,57 @@ impl Collector {
             rows.extend(outcome.rows);
         }
 
+        record_report_metrics(&report);
+        span.record("rows", report.rows);
+        span.record("quarantined", report.quarantined.len());
+
         if report.failure_rate() > self.config.failure_threshold {
+            hbmd_obs::incr("collect.degraded");
             return Err(PerfError::DegradedCollection {
                 failed: report.quarantined.len(),
                 total: report.samples_total,
                 threshold: self.config.failure_threshold,
             });
         }
-        Ok((rows.into_iter().collect(), report))
+        Ok(Collection {
+            dataset: rows.into_iter().collect(),
+            report,
+        })
+    }
+
+    /// Collect, returning the dataset and report as separate values.
+    ///
+    /// # Errors
+    ///
+    /// See [`Collector::collect`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Collector::collect`, which returns a `Collection`"
+    )]
+    pub fn collect_with_report(
+        &self,
+        catalog: &SampleCatalog,
+    ) -> Result<(HpcDataset, CollectionReport), PerfError> {
+        self.collect(catalog).map(Collection::into_parts)
+    }
+
+    /// Collect and keep only the dataset — the shape of the original
+    /// panicking API.
+    ///
+    /// # Panics
+    ///
+    /// Panics when collection fails (e.g. degrades past
+    /// [`CollectorConfig::failure_threshold`]); use
+    /// [`Collector::collect`] to handle failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Collector::collect` and read `.dataset` from the `Collection`"
+    )]
+    pub fn collect_dataset(&self, catalog: &SampleCatalog) -> HpcDataset {
+        match self.collect(catalog) {
+            Ok(collection) => collection.dataset,
+            Err(e) => panic!("collection failed: {e}"),
+        }
     }
 
     /// Collect one sample's rows through the single-attempt path (no
@@ -362,8 +419,19 @@ impl Collector {
         (rows, counts)
     }
 
-    /// Attempt-with-retry loop for one sample; never panics.
+    /// Attempt-with-retry loop for one sample; never panics. Opens a
+    /// `collect.sample` span (parentless on `par_map`-style worker
+    /// threads — the logical parent lives on the coordinating thread).
     fn collect_resilient(&self, sample: &Sample) -> SampleOutcome {
+        let mut span = hbmd_obs::span!("collect.sample", sample = sample.id().0);
+        let outcome = self.collect_resilient_inner(sample);
+        span.record("rows", outcome.rows.len());
+        span.record("retries", outcome.retries);
+        span.record("quarantined", outcome.quarantined.is_some());
+        outcome
+    }
+
+    fn collect_resilient_inner(&self, sample: &Sample) -> SampleOutcome {
         let attempts = self.config.max_retries + 1;
         let mut retries = 0;
         let mut faults = FaultCounts::default();
@@ -404,15 +472,39 @@ impl Collector {
     }
 }
 
+/// Record one collection run's exact, deterministic-domain metrics into
+/// the installed observability context. Every value derives from the
+/// report (itself thread-count-independent), so the counters are too.
+fn record_report_metrics(report: &CollectionReport) {
+    hbmd_obs::add("collect.samples", report.samples_total as u64);
+    hbmd_obs::add("windows_collected", report.rows as u64);
+    hbmd_obs::add("collect.retries", report.retries as u64);
+    hbmd_obs::add("collect.quarantined", report.quarantined.len() as u64);
+    for (kind, count) in report.faults.per_kind() {
+        if count > 0 {
+            hbmd_obs::counter_with("faults_injected", &[("kind", kind)]).add(count as u64);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hbmd_malware::AppClass;
 
+    /// Build + run a collector, panicking on any failure — the shape
+    /// most tests want.
+    fn collect(config: CollectorConfig, catalog: &SampleCatalog) -> Collection {
+        Collector::new(config)
+            .expect("valid config")
+            .collect(catalog)
+            .expect("collection under threshold")
+    }
+
     #[test]
     fn collects_rows_for_every_sample() {
         let catalog = SampleCatalog::scaled(0.01, 5);
-        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let dataset = collect(CollectorConfig::fast(), &catalog).dataset;
         assert_eq!(dataset.len(), catalog.len() * 4);
         // Every class present.
         let counts = dataset.class_counts();
@@ -424,24 +516,29 @@ mod tests {
     #[test]
     fn parallel_collection_matches_sequential() {
         let catalog = SampleCatalog::scaled(0.01, 5);
-        let sequential = Collector::new(CollectorConfig::fast()).collect(&catalog);
-        let parallel = Collector::new(CollectorConfig {
-            threads: 4,
-            ..CollectorConfig::fast()
-        })
-        .collect(&catalog);
+        let sequential = collect(CollectorConfig::fast(), &catalog);
+        let parallel = collect(
+            CollectorConfig {
+                threads: 4,
+                ..CollectorConfig::fast()
+            },
+            &catalog,
+        );
         assert_eq!(sequential, parallel);
     }
 
     #[test]
     fn labeler_can_introduce_label_noise() {
         let catalog = SampleCatalog::scaled(0.02, 5);
-        let truth = Collector::new(CollectorConfig::fast()).collect(&catalog);
-        let labelled = Collector::new(CollectorConfig {
-            labeler: Some(MultiEngineLabeler::new(10, 0.5, 0.05, 1)),
-            ..CollectorConfig::fast()
-        })
-        .collect(&catalog);
+        let truth = collect(CollectorConfig::fast(), &catalog).dataset;
+        let labelled = collect(
+            CollectorConfig {
+                labeler: Some(MultiEngineLabeler::new(10, 0.5, 0.05, 1)),
+                ..CollectorConfig::fast()
+            },
+            &catalog,
+        )
+        .dataset;
         assert_eq!(truth.len(), labelled.len());
         let disagreements = truth
             .rows()
@@ -453,23 +550,36 @@ mod tests {
     }
 
     #[test]
-    fn try_new_rejects_bad_configs() {
+    fn new_rejects_bad_configs() {
         let mut config = CollectorConfig::fast();
         config.threads = 0;
-        assert!(Collector::try_new(config).is_err());
+        assert!(Collector::new(config).is_err());
 
         let mut config = CollectorConfig::fast();
         config.sampler.windows_per_sample = 0;
-        assert!(Collector::try_new(config).is_err());
+        assert!(Collector::new(config).is_err());
 
         let mut config = CollectorConfig::fast();
         config.failure_threshold = 1.5;
-        assert!(Collector::try_new(config).is_err());
+        assert!(Collector::new(config).is_err());
 
         let mut plan = FaultPlan::none();
         plan.drop_window = 2.0;
         let config = CollectorConfig::faulted(plan);
-        assert!(Collector::try_new(config).is_err());
+        assert!(Collector::new(config).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_new_api() {
+        let catalog = SampleCatalog::scaled(0.01, 5);
+        let collection = collect(CollectorConfig::fast(), &catalog);
+
+        let shim = Collector::try_new(CollectorConfig::fast()).expect("valid config");
+        let (dataset, report) = shim.collect_with_report(&catalog).expect("clean");
+        assert_eq!(dataset, collection.dataset);
+        assert_eq!(report, collection.report);
+        assert_eq!(shim.collect_dataset(&catalog), collection.dataset);
     }
 
     #[test]
@@ -480,7 +590,7 @@ mod tests {
         use hbmd_events::HpcEvent;
         let catalog =
             SampleCatalog::with_counts(&[(AppClass::Worm, 6), (AppClass::Backdoor, 6)], 11);
-        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let dataset = collect(CollectorConfig::fast(), &catalog).dataset;
         let mean = |class: AppClass| {
             let rows: Vec<f64> = dataset
                 .of_class(class)
@@ -499,9 +609,7 @@ mod tests {
     #[test]
     fn clean_collection_reports_clean() {
         let catalog = SampleCatalog::scaled(0.01, 5);
-        let (dataset, report) = Collector::new(CollectorConfig::fast())
-            .collect_with_report(&catalog)
-            .expect("pristine");
+        let Collection { dataset, report } = collect(CollectorConfig::fast(), &catalog);
         assert_eq!(report.rows, dataset.len());
         assert_eq!(report.samples_total, catalog.len());
         assert!(report.is_clean());
@@ -512,9 +620,7 @@ mod tests {
     fn faulted_collection_completes_and_reports() {
         let catalog = SampleCatalog::scaled(0.02, 5);
         let plan = FaultPlan::uniform(0.1, 21);
-        let (dataset, report) = Collector::new(CollectorConfig::faulted(plan))
-            .collect_with_report(&catalog)
-            .expect("under threshold");
+        let Collection { dataset, report } = collect(CollectorConfig::faulted(plan), &catalog);
         assert!(!dataset.is_empty());
         assert!(report.faults.total() > 0, "faults should have fired");
         // Quarantined samples contributed no rows.
@@ -529,12 +635,13 @@ mod tests {
         // Panic-prone but retried: each attempt re-rolls, so most
         // samples survive within 3 attempts.
         let plan = FaultPlan::panics_only(0.3, 13);
-        let (dataset, report) = Collector::new(CollectorConfig {
-            threads: 4,
-            ..CollectorConfig::faulted(plan)
-        })
-        .collect_with_report(&catalog)
-        .expect("under threshold");
+        let Collection { dataset, report } = collect(
+            CollectorConfig {
+                threads: 4,
+                ..CollectorConfig::faulted(plan)
+            },
+            &catalog,
+        );
         assert!(report.faults.worker_panics > 0, "panics should have fired");
         assert!(report.retries > 0, "panicked samples should be retried");
         assert!(!dataset.is_empty());
@@ -546,26 +653,32 @@ mod tests {
         let catalog = SampleCatalog::scaled(0.02, 5);
         let plan = FaultPlan::uniform(0.15, 77);
         let run = |threads: usize| {
-            Collector::new(CollectorConfig {
-                threads,
-                ..CollectorConfig::faulted(plan.clone())
-            })
-            .collect_with_report(&catalog)
-            .expect("under threshold")
+            collect(
+                CollectorConfig {
+                    threads,
+                    ..CollectorConfig::faulted(plan.clone())
+                },
+                &catalog,
+            )
         };
-        let (data_seq, report_seq) = run(1);
-        let (data_par, report_par) = run(4);
+        let sequential = run(1);
+        let parallel = run(4);
         // Debug-compare the datasets: starved readings are NaN, and
         // NaN != NaN under `PartialEq` (f64 Debug round-trips bits).
-        assert_eq!(format!("{data_seq:?}"), format!("{data_par:?}"));
-        assert_eq!(report_seq, report_par);
+        assert_eq!(
+            format!("{:?}", sequential.dataset),
+            format!("{:?}", parallel.dataset)
+        );
+        assert_eq!(sequential.report, parallel.report);
     }
 
     #[test]
     fn hopeless_collection_degrades_with_typed_error() {
         let catalog = SampleCatalog::scaled(0.01, 5);
         let plan = FaultPlan::panics_only(1.0, 3); // every attempt dies
-        let result = Collector::new(CollectorConfig::faulted(plan)).collect_with_report(&catalog);
+        let result = Collector::new(CollectorConfig::faulted(plan))
+            .expect("valid config")
+            .collect(&catalog);
         match result {
             Err(PerfError::DegradedCollection { failed, total, .. }) => {
                 assert_eq!(failed, total);

@@ -3,7 +3,11 @@ use std::io;
 
 /// Errors produced by the collection pipeline and the dataset
 /// interchange formats.
+///
+/// Marked `#[non_exhaustive]`: future pipeline stages will grow new
+/// failure modes, and downstream `match`es must keep a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PerfError {
     /// Underlying I/O failure while reading or writing a trace/dataset.
     Io(io::Error),

@@ -223,6 +223,22 @@ impl FaultCounts {
             + self.worker_panics
     }
 
+    /// The tally broken out by fault kind, with stable metric-friendly
+    /// kind names — the shape behind the `faults_injected{kind=...}`
+    /// observability counters.
+    pub fn per_kind(&self) -> [(&'static str, usize); 8] {
+        [
+            ("dropped_windows", self.dropped_windows),
+            ("duplicated_windows", self.duplicated_windows),
+            ("wrapped_windows", self.wrapped_windows),
+            ("saturated_windows", self.saturated_windows),
+            ("stuck_events", self.stuck_events),
+            ("starved_readings", self.starved_readings),
+            ("perturbed_readings", self.perturbed_readings),
+            ("worker_panics", self.worker_panics),
+        ]
+    }
+
     /// Accumulate another tally into this one.
     pub fn merge(&mut self, other: &FaultCounts) {
         self.dropped_windows += other.dropped_windows;

@@ -35,9 +35,9 @@
 //! use hbmd_perf::{Collector, CollectorConfig};
 //!
 //! let catalog = SampleCatalog::scaled(0.01, 7);
-//! let config = CollectorConfig::fast();
-//! let dataset = Collector::new(config).collect(&catalog);
-//! assert_eq!(dataset.len(), catalog.len() * 4); // 4 windows per sample
+//! let collector = Collector::new(CollectorConfig::fast()).expect("static config");
+//! let collection = collector.collect(&catalog).expect("pristine pipeline");
+//! assert_eq!(collection.dataset.len(), catalog.len() * 4); // 4 windows per sample
 //! ```
 
 pub mod arff;
@@ -53,7 +53,7 @@ mod fault;
 mod pmu;
 mod sampler;
 
-pub use collect::{CollectionReport, Collector, CollectorConfig};
+pub use collect::{Collection, CollectionReport, Collector, CollectorConfig};
 pub use container::Container;
 pub use dataset::{DataRow, HpcDataset};
 pub use error::PerfError;

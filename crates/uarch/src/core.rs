@@ -112,6 +112,9 @@ impl Cpu {
 
     /// Execute `budget` instructions drawn from `source`.
     pub fn run<S: InstructionSource>(&mut self, source: &mut S, budget: u64) {
+        // One coarse add per run keeps the per-instruction loop free of
+        // registry traffic.
+        hbmd_obs::add("uarch.instructions_simulated", budget);
         for _ in 0..budget {
             let inst = source.next_instruction();
             self.execute(inst.pc, inst.op);

@@ -13,7 +13,11 @@ use hbmd::perf::{Collector, CollectorConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = SampleCatalog::scaled(0.08, 11);
-    let dataset = Collector::new(CollectorConfig::paper()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::paper())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     println!(
         "{} samples -> {} windows; training the suite with top-8 PCA features\n",
         catalog.len(),

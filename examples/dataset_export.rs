@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {}", numeric_path.display());
 
     // Sanity: the direct collector and the trace-directory flow agree.
-    let direct = Collector::new(CollectorConfig::paper()).collect(&catalog);
+    let direct = Collector::new(CollectorConfig::paper())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     assert_eq!(direct.len(), dataset.len());
     println!(
         "\ntrace-directory flow matches direct collection ({} rows)",

@@ -15,7 +15,11 @@ use hbmd::perf::{Collector, CollectorConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = SampleCatalog::scaled(0.08, 3);
-    let hpc = Collector::new(CollectorConfig::paper()).collect(&catalog);
+    let hpc = Collector::new(CollectorConfig::paper())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     let (train_hpc, test_hpc) = hpc.split(0.7, 42);
     let plan = FeaturePlan::fit(&train_hpc)?;
     let train_full = to_binary_dataset(&train_hpc);

@@ -13,7 +13,9 @@ use hbmd::perf::{Collector, CollectorConfig, Sampler, SamplerConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train offline, as the paper does.
     let catalog = SampleCatalog::scaled(0.05, 21);
-    let dataset = Collector::new(CollectorConfig::paper()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::paper())?
+        .collect(&catalog)?
+        .dataset;
     let detector = DetectorBuilder::new()
         .classifier(ClassifierKind::J48)
         .feature_set(FeatureSet::Top(8))
@@ -24,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Monitor a synthetic timeline: 12 benign windows, then the worm.
-    let mut monitor = OnlineDetector::new(detector, 4, 3);
+    let mut monitor = OnlineDetector::builder(detector)
+        .window(4)
+        .threshold(3)
+        .build()?;
     let sampler = Sampler::new(SamplerConfig {
         windows_per_sample: 12,
         ..SamplerConfig::paper()

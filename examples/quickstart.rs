@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Collect hardware-performance-counter windows: each sample runs
     //    in an isolated container on the simulated Haswell core, with
     //    the 16 events multiplexed onto 8 PMU registers.
-    let dataset = Collector::new(CollectorConfig::paper()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::paper())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     println!(
         "\ncollected {} windows of 16 scaled counters",
         dataset.len()

@@ -12,6 +12,7 @@
 //! | [`ml`] | `hbmd-ml` | WEKA-like classifiers, PCA, evaluation |
 //! | [`fpga`] | `hbmd-fpga` | HLS-like area/latency/power cost model |
 //! | [`core`] | `hbmd-core` | detector pipeline and experiment presets |
+//! | [`obs`] | `hbmd-obs` | tracing spans, metrics, and run manifests |
 //!
 //! # Quickstart
 //!
@@ -23,12 +24,12 @@
 //! // 1. Generate a labelled sample database (Table 1, shrunk).
 //! let catalog = SampleCatalog::scaled(0.02, 7);
 //! // 2. Run every sample in its container and collect HPC windows.
-//! let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+//! let collection = Collector::new(CollectorConfig::fast())?.collect(&catalog)?;
 //! // 3. Train a detector with PCA-reduced features and evaluate 70/30.
 //! let detector = DetectorBuilder::new()
 //!     .classifier(ClassifierKind::JRip)
 //!     .feature_set(FeatureSet::Top(8))
-//!     .train_binary(&dataset)?;
+//!     .train_binary(&collection.dataset)?;
 //! println!("accuracy: {:.1}%", detector.evaluation().accuracy() * 100.0);
 //! # Ok::<(), hbmd::core::CoreError>(())
 //! ```
@@ -38,5 +39,6 @@ pub use hbmd_events as events;
 pub use hbmd_fpga as fpga;
 pub use hbmd_malware as malware;
 pub use hbmd_ml as ml;
+pub use hbmd_obs as obs;
 pub use hbmd_perf as perf;
 pub use hbmd_uarch as uarch;

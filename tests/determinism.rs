@@ -10,7 +10,11 @@ use hbmd::perf::{Collector, CollectorConfig};
 fn collection_is_a_pure_function_of_seeds() {
     let run = || {
         let catalog = SampleCatalog::scaled(0.02, 123);
-        Collector::new(CollectorConfig::fast()).collect(&catalog)
+        Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset
     };
     assert_eq!(run(), run());
 }
@@ -19,7 +23,11 @@ fn collection_is_a_pure_function_of_seeds() {
 fn different_catalog_seeds_give_different_data() {
     let collect = |seed| {
         let catalog = SampleCatalog::scaled(0.02, seed);
-        Collector::new(CollectorConfig::fast()).collect(&catalog)
+        Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset
     };
     assert_ne!(collect(1), collect(2));
 }
@@ -27,7 +35,11 @@ fn different_catalog_seeds_give_different_data() {
 #[test]
 fn feature_plans_are_stable() {
     let catalog = SampleCatalog::scaled(0.02, 7);
-    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     let a = FeaturePlan::fit(&dataset).expect("plan");
     let b = FeaturePlan::fit(&dataset).expect("plan");
     assert_eq!(a, b);
@@ -36,7 +48,11 @@ fn feature_plans_are_stable() {
 #[test]
 fn trained_detectors_agree_across_runs() {
     let catalog = SampleCatalog::scaled(0.03, 55);
-    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     let train = || {
         DetectorBuilder::new()
             .classifier(ClassifierKind::Mlp)
@@ -59,7 +75,11 @@ fn trained_detectors_agree_across_runs() {
 #[test]
 fn split_seed_changes_the_split_not_the_schema() {
     let catalog = SampleCatalog::scaled(0.02, 7);
-    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     let (train_a, test_a) = dataset.split(0.7, 1);
     let (train_b, test_b) = dataset.split(0.7, 2);
     assert_eq!(train_a.len() + test_a.len(), train_b.len() + test_b.len());

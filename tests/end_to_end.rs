@@ -18,7 +18,11 @@ fn full_pipeline_from_catalog_to_silicon() {
     assert!(catalog.len() > 50);
 
     // 2. Collection.
-    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     assert_eq!(
         dataset.len(),
         catalog.len() * 4,
@@ -53,7 +57,11 @@ fn full_pipeline_from_catalog_to_silicon() {
 #[test]
 fn interchange_formats_round_trip_a_real_collection() {
     let catalog = SampleCatalog::scaled(0.01, 5);
-    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
 
     // CSV with provenance.
     let mut buffer = Vec::new();
@@ -104,12 +112,20 @@ fn perf_stat_traces_round_trip_per_sample() {
 #[test]
 fn online_monitor_rides_on_a_trained_detector() {
     let catalog = SampleCatalog::scaled(0.03, 101);
-    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     let detector = DetectorBuilder::new()
         .classifier(ClassifierKind::J48)
         .train_binary(&dataset)
         .expect("train");
-    let mut monitor = OnlineDetector::new(detector, 4, 3);
+    let mut monitor = OnlineDetector::builder(detector)
+        .window(4)
+        .threshold(3)
+        .build()
+        .expect("monitor shape");
 
     let sampler = Sampler::new(SamplerConfig {
         windows_per_sample: 16,
@@ -128,7 +144,11 @@ fn online_monitor_rides_on_a_trained_detector() {
 #[test]
 fn multiclass_detector_names_families() {
     let catalog = SampleCatalog::scaled(0.04, 33);
-    let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let dataset = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     let detector = DetectorBuilder::new()
         .classifier(ClassifierKind::Mlp)
         .train_multiclass(&dataset)

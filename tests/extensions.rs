@@ -11,7 +11,11 @@ use hbmd::perf::{Collector, CollectorConfig, HpcDataset};
 
 fn collected() -> HpcDataset {
     let catalog = SampleCatalog::scaled(0.03, 71);
-    Collector::new(CollectorConfig::fast()).collect(&catalog)
+    Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset
 }
 
 #[test]

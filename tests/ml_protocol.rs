@@ -11,7 +11,11 @@ use hbmd::perf::{Collector, CollectorConfig, HpcDataset};
 
 fn collected() -> HpcDataset {
     let catalog = SampleCatalog::scaled(0.03, 41);
-    Collector::new(CollectorConfig::fast()).collect(&catalog)
+    Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset
 }
 
 #[test]
@@ -77,12 +81,19 @@ fn ensembles_work_on_real_multiclass_data() {
 #[test]
 fn label_noise_degrades_but_does_not_destroy_detection() {
     let catalog = SampleCatalog::scaled(0.03, 43);
-    let clean = Collector::new(CollectorConfig::fast()).collect(&catalog);
+    let clean = Collector::new(CollectorConfig::fast())
+        .expect("config")
+        .collect(&catalog)
+        .expect("collect")
+        .dataset;
     let noisy = Collector::new(CollectorConfig {
         labeler: Some(MultiEngineLabeler::new(20, 0.6, 0.05, 9)),
         ..CollectorConfig::fast()
     })
-    .collect(&catalog);
+    .expect("config")
+    .collect(&catalog)
+    .expect("collect")
+    .dataset;
 
     let accuracy_of = |dataset: &HpcDataset| {
         let data = to_binary_dataset(dataset);

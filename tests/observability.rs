@@ -1,0 +1,154 @@
+//! Observability integration: span capture, exact counters, and the
+//! determinism contract, driven through the public facade.
+//!
+//! Each test installs its own [`Obs`] context; installs serialize on a
+//! process-wide lock, so the tests' counters never bleed into each
+//! other even when the harness runs them on parallel threads.
+
+use std::sync::Arc;
+
+use hbmd::malware::SampleCatalog;
+use hbmd::obs::{MemorySink, Obs};
+use hbmd::perf::{Collection, Collector, CollectorConfig, FaultPlan};
+
+/// A fault plan hot enough to exercise every counter on a tiny catalog,
+/// but below the failure threshold.
+fn faulted_config() -> CollectorConfig {
+    CollectorConfig::faulted(FaultPlan::uniform(0.05, 11))
+}
+
+fn collect(config: CollectorConfig, catalog: &SampleCatalog) -> Collection {
+    Collector::new(config)
+        .expect("valid config")
+        .collect(catalog)
+        .expect("collection under threshold")
+}
+
+#[test]
+fn spans_nest_and_counters_match_the_report_exactly() {
+    let sink = Arc::new(MemorySink::new());
+    let guard = hbmd::obs::install(Obs::new().with_sink(sink.clone()));
+
+    let catalog = SampleCatalog::scaled(0.02, 7);
+    let collection = collect(faulted_config(), &catalog);
+    let report = &collection.report;
+
+    // One root `collect` span; with the sequential (threads = 1) fast
+    // config every per-sample span nests under it.
+    let roots = sink.named("collect");
+    assert_eq!(roots.len(), 1);
+    let samples = sink.named("collect.sample");
+    assert_eq!(samples.len(), report.samples_total);
+    for span in &samples {
+        assert_eq!(span.parent, Some(roots[0].id), "sequential spans nest");
+    }
+
+    // Counters are exact mirrors of the collection report.
+    let snapshot = guard.registry().snapshot();
+    assert_eq!(snapshot.counter("collect.samples"), catalog.len() as u64);
+    assert_eq!(snapshot.counter("windows_collected"), report.rows as u64);
+    assert_eq!(
+        snapshot.counter("windows_collected"),
+        collection.dataset.len() as u64
+    );
+    assert_eq!(snapshot.counter("collect.retries"), report.retries as u64);
+    assert_eq!(
+        snapshot.counter("collect.quarantined"),
+        report.quarantined.len() as u64
+    );
+    let faults_total: usize = report.faults.per_kind().iter().map(|&(_, n)| n).sum();
+    assert!(faults_total > 0, "the uniform plan must inject something");
+    assert_eq!(snapshot.counter("faults_injected"), faults_total as u64);
+
+    drop(guard);
+}
+
+#[test]
+fn per_kind_fault_counters_carry_labels() {
+    let guard = hbmd::obs::install(Obs::new());
+    let catalog = SampleCatalog::scaled(0.02, 13);
+    let collection = collect(faulted_config(), &catalog);
+
+    let snapshot = guard.registry().snapshot();
+    for (kind, count) in collection.report.faults.per_kind() {
+        let recorded: u64 = snapshot
+            .counters
+            .iter()
+            .filter(|c| {
+                c.name == "faults_injected"
+                    && c.labels == vec![("kind".to_owned(), kind.to_owned())]
+            })
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(recorded, count as u64, "kind {kind}");
+    }
+    drop(guard);
+}
+
+#[test]
+fn deterministic_metrics_are_identical_across_thread_counts() {
+    let fingerprint = |threads: usize| {
+        let guard = hbmd::obs::install(Obs::new());
+        let mut config = faulted_config();
+        config.threads = threads;
+        let catalog = SampleCatalog::scaled(0.02, 29);
+        let _faulted = collect(config.clone(), &catalog);
+        // Exercise the training side too, so classifier counters are
+        // part of the fingerprint. Train on a clean collection — raw
+        // faulted windows carry NaNs that only the detector's sanitizer
+        // screens out.
+        let clean = collect(
+            CollectorConfig {
+                fault: None,
+                ..config
+            },
+            &catalog,
+        );
+        let dataset = hbmd::core::to_binary_dataset(&clean.dataset);
+        let mut tree = hbmd::ml::J48::new();
+        hbmd::ml::fit_timed(&mut tree, &dataset).expect("fit");
+        let json = guard.registry().snapshot().deterministic().to_json();
+        drop(guard);
+        json
+    };
+    let sequential = fingerprint(1);
+    assert_eq!(sequential, fingerprint(2));
+    assert_eq!(sequential, fingerprint(8));
+    // The fingerprint is non-trivial and wall-clock-free.
+    assert!(sequential.contains("windows_collected"));
+    assert!(!sequential.contains("train_ns"));
+}
+
+#[test]
+fn default_context_collects_without_sinks() {
+    // No install, no sinks: the pipeline must run exactly as before,
+    // metrics landing silently in the default registry.
+    let catalog = SampleCatalog::scaled(0.01, 3);
+    let collection = collect(CollectorConfig::fast(), &catalog);
+    assert_eq!(collection.dataset.len(), collection.report.rows);
+    assert!(!hbmd::obs::has_sinks());
+}
+
+#[test]
+fn summary_table_renders_counters_and_histograms() {
+    let guard = hbmd::obs::install(Obs::new());
+    let catalog = SampleCatalog::scaled(0.01, 3);
+    let _ = collect(CollectorConfig::fast(), &catalog);
+    let summary = guard.registry().snapshot().summary();
+    assert!(summary.contains("counters"));
+    assert!(summary.contains("windows_collected"));
+    drop(guard);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_collection_shims_stay_wired_through_the_facade() {
+    let catalog = SampleCatalog::scaled(0.01, 5);
+    let via_new = collect(CollectorConfig::fast(), &catalog);
+
+    let collector = Collector::try_new(CollectorConfig::fast()).expect("valid config");
+    let (dataset, report) = collector.collect_with_report(&catalog).expect("collect");
+    assert_eq!(dataset, via_new.dataset);
+    assert_eq!(report, via_new.report);
+    assert_eq!(collector.collect_dataset(&catalog), via_new.dataset);
+}

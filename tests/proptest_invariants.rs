@@ -146,7 +146,7 @@ proptest! {
         // Fitting must tolerate corrupt training rows too, so fit on a
         // tiny clean collection — cheap enough to redo per case.
         let catalog = SampleCatalog::scaled(0.005, 11);
-        let dataset = Collector::new(CollectorConfig::fast()).collect(&catalog);
+        let dataset = Collector::new(CollectorConfig::fast()).expect("config").collect(&catalog).expect("collect").dataset;
         let sanitizer = Sanitizer::fit(&dataset).with_max_repair(max_repair);
 
         let window = FeatureVector::from_slice(&hostile).expect("16 wide");
