@@ -36,25 +36,55 @@
 //!
 //! Either flag also prints a metrics summary table to stderr at the
 //! end of the run.
+//!
+//! Subcommands (dispatched on the first positional; the default
+//! experiment mode and its byte-identical stdout are untouched):
+//!
+//! * `repro serve [--scale F|--fast|--paper] [--addr HOST:PORT]
+//!   [--windows N] [--threads N]` — train a J48 detector, stream a
+//!   synthetic workload through the online monitor, and expose
+//!   `/metrics` (Prometheus text format 0.0.4), `/healthz` and
+//!   `/manifest` over HTTP until killed (or after `--windows N`);
+//! * `repro trace-report <trace.jsonl> [--collapsed PATH]` — span-tree
+//!   analysis of a `--trace-jsonl` log: per-name aggregates ranked by
+//!   self time, the critical path, and optional folded stacks for
+//!   flamegraph renderers;
+//! * `repro bench-diff --baseline PATH --current PATH
+//!   [--max-regress-pct N]` — compare two `BENCH_repro.json` reports,
+//!   exiting nonzero on wall-clock or cache regressions; reports from
+//!   different versions, config digests, or phase sets are refused.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hbmd_bench::{config_at_scale, pct, BenchReport, PhaseTiming, TextTable};
+use hbmd_bench::{config_at_scale, config_digest, diff, pct, BenchReport, PhaseTiming, TextTable};
 use hbmd_core::experiments::{
     self, binary, ensemble, hardware, latency, multiclass, pca, robustness, roc, ExperimentConfig,
 };
-use hbmd_core::{to_binary_dataset, ClassifierKind, CollectCache, FeaturePlan, FeatureSet};
+use hbmd_core::{
+    to_binary_dataset, ClassifierKind, CollectCache, DetectorBuilder, FeaturePlan, FeatureSet,
+    OnlineDetector, OnlineVerdict,
+};
 use hbmd_fpga::SynthConfig;
-use hbmd_malware::AppClass;
+use hbmd_malware::{AppClass, Sample, SampleId};
 use hbmd_ml::Evaluation;
-use hbmd_obs::manifest::{fnv1a_64, RunManifest};
-use hbmd_obs::{JsonlSink, Obs};
-use hbmd_perf::PmuConfig;
+use hbmd_obs::manifest::RunManifest;
+use hbmd_obs::trace::Trace;
+use hbmd_obs::{serve, JsonlSink, Obs};
+use hbmd_perf::{PmuConfig, Sampler, SamplerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommands dispatch on the first positional before flag parsing,
+    // so the default experiment mode — and its byte-identical stdout —
+    // is untouched.
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_mode(&args[1..]),
+        Some("trace-report") => return trace_report(&args[1..]),
+        Some("bench-diff") => return bench_diff(&args[1..]),
+        _ => {}
+    }
     let mut scale = 0.2f64;
     let mut threads: Option<usize> = None;
     let mut bench_json = "BENCH_repro.json".to_owned();
@@ -183,6 +213,8 @@ fn main() -> ExitCode {
     let cache = CollectCache::new();
     let started = Instant::now();
     let mut report = BenchReport {
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        config_digest: config_digest(&config),
         scale,
         threads: config.threads,
         collector_threads: config.collector.threads,
@@ -224,31 +256,7 @@ fn main() -> ExitCode {
     if let Some(guard) = obs_guard {
         let snapshot = guard.registry().snapshot();
         if let Some(path) = &metrics_json {
-            let mut manifest = RunManifest::new("repro", env!("CARGO_PKG_VERSION"));
-            manifest.scale = scale;
-            manifest.threads = config.threads;
-            manifest.collector_threads = config.collector.threads;
-            manifest.seeds = vec![
-                ("catalog".to_owned(), config.catalog_seed),
-                ("split".to_owned(), config.split_seed),
-            ];
-            manifest.config_digest = fnv1a_64(format!("{config:?}").as_bytes());
-            // The workspace shares one version across the hbmd crates.
-            manifest.crates = [
-                "hbmd-events",
-                "hbmd-uarch",
-                "hbmd-malware",
-                "hbmd-perf",
-                "hbmd-ml",
-                "hbmd-fpga",
-                "hbmd-core",
-                "hbmd-obs",
-                "hbmd-bench",
-            ]
-            .iter()
-            .map(|name| ((*name).to_owned(), env!("CARGO_PKG_VERSION").to_owned()))
-            .collect();
-            manifest.experiments = experiments.clone();
+            let mut manifest = build_manifest(scale, &config, &experiments);
             manifest.wall.total_ms = started.elapsed().as_millis();
 
             let body = snapshot.to_json();
@@ -280,11 +288,341 @@ fn print_usage() {
     println!(
         "usage: repro [--scale F | --paper | --fast] [--threads N] [--bench-json PATH]\n\
          \x20      [--trace-jsonl PATH] [--metrics-json PATH] <experiment>...\n\
+         \x20      repro serve [--scale F | --fast] [--addr HOST:PORT] [--windows N]\n\
+         \x20      repro trace-report <trace.jsonl> [--collapsed PATH]\n\
+         \x20      repro bench-diff --baseline PATH --current PATH [--max-regress-pct N]\n\
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
          \x20            roc detect-latency robustness emit-hdl all"
     );
+}
+
+/// The run's identity card, shared by `--metrics-json` and the
+/// `/manifest` endpoint of `repro serve`.
+fn build_manifest(scale: f64, config: &ExperimentConfig, experiments: &[String]) -> RunManifest {
+    let mut manifest = RunManifest::new("repro", env!("CARGO_PKG_VERSION"));
+    manifest.scale = scale;
+    manifest.threads = config.threads;
+    manifest.collector_threads = config.collector.threads;
+    manifest.seeds = vec![
+        ("catalog".to_owned(), config.catalog_seed),
+        ("split".to_owned(), config.split_seed),
+    ];
+    // Same thread-normalized digest `BENCH_repro.json` is stamped with.
+    manifest.config_digest =
+        u64::from_str_radix(&config_digest(config), 16).expect("digest is 16 hex digits");
+    // The workspace shares one version across the hbmd crates.
+    manifest.crates = [
+        "hbmd-events",
+        "hbmd-uarch",
+        "hbmd-malware",
+        "hbmd-perf",
+        "hbmd-ml",
+        "hbmd-fpga",
+        "hbmd-core",
+        "hbmd-obs",
+        "hbmd-bench",
+    ]
+    .iter()
+    .map(|name| ((*name).to_owned(), env!("CARGO_PKG_VERSION").to_owned()))
+    .collect();
+    manifest.experiments = experiments.to_vec();
+    manifest
+}
+
+/// `repro serve` — train a detector, then run the online monitor over a
+/// continuous synthetic workload while exposing `/metrics`, `/healthz`
+/// and `/manifest` over HTTP. With `--windows N` the stream stops after
+/// N windows (integration tests, smoke runs); without it the monitor
+/// paces at the paper's 10 ms window cadence until killed.
+fn serve_mode(args: &[String]) -> ExitCode {
+    let mut scale = 0.05f64;
+    let mut addr = "127.0.0.1:9185".to_owned();
+    let mut windows_limit = 0u64;
+    let mut threads: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 && f <= 1.0 => scale = f,
+                _ => {
+                    eprintln!("--scale needs a fraction in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fast" => scale = 0.05,
+            "--paper" => scale = 1.0,
+            "--addr" => match iter.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("--addr needs HOST:PORT (port 0 = ephemeral)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--windows" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => windows_limit = n,
+                _ => {
+                    eprintln!("--windows needs a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("serve: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut config = config_at_scale(scale);
+    if let Some(n) = threads {
+        config.threads = n;
+        config.collector.threads = n;
+    }
+    match run_monitor(&config, scale, &addr, windows_limit) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_monitor(
+    config: &ExperimentConfig,
+    scale: f64,
+    addr: &str,
+    windows_limit: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    // Fresh context so the endpoint exports only this monitor's
+    // counters; the guard lives for the whole serve session.
+    let guard = hbmd_obs::install(Obs::new());
+
+    eprintln!(
+        "serve: training J48 detector at scale {scale} ({} samples)...",
+        config.catalog().len()
+    );
+    let cache = CollectCache::new();
+    let collection = cache.collect(config)?;
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::J48)
+        .feature_set(FeatureSet::Top(8))
+        .train_binary(&collection.dataset)?;
+    eprintln!(
+        "serve: {:.1}% held-out accuracy; monitoring with a 4-window vote, threshold 3",
+        detector.evaluation().accuracy() * 100.0
+    );
+    let mut monitor = OnlineDetector::builder(detector)
+        .window(4)
+        .threshold(3)
+        .build()?;
+
+    let manifest = build_manifest(scale, config, &["serve".to_owned()]);
+    let server = serve::serve(
+        addr,
+        serve::ServeContext {
+            registry: Arc::clone(guard.registry()),
+            manifest_json: manifest.to_json(),
+        },
+    )?;
+    eprintln!(
+        "serve: http://{} — /metrics (Prometheus 0.0.4), /healthz, /manifest",
+        server.local_addr()
+    );
+
+    // A continuous synthetic timeline: mostly benign background with
+    // each malware family injected in turn, so every verdict counter
+    // and the alarm state machine stay live.
+    let phases = [
+        AppClass::Benign,
+        AppClass::Worm,
+        AppClass::Benign,
+        AppClass::Virus,
+        AppClass::Benign,
+        AppClass::Trojan,
+        AppClass::Benign,
+        AppClass::Rootkit,
+        AppClass::Benign,
+        AppClass::Backdoor,
+    ];
+    let sampler = Sampler::new(SamplerConfig {
+        windows_per_sample: 16,
+        ..config.collector.sampler.clone()
+    })?;
+    let mut observed = 0u64;
+    let mut sample_index = 0u64;
+    'stream: loop {
+        let class = phases[(sample_index % phases.len() as u64) as usize];
+        let id = SampleId(9_000u32.wrapping_add(sample_index as u32));
+        let sample = Sample::generate(id, class, 101 + sample_index);
+        sample_index += 1;
+        for window in sampler.collect_sample(&sample) {
+            if let OnlineVerdict::Alarm { family, votes, of } = monitor.observe(&window) {
+                if observed.is_multiple_of(16) {
+                    eprintln!("serve: ALARM ({family}, {votes}/{of} windows) at window {observed}");
+                }
+            }
+            observed += 1;
+            if windows_limit > 0 && observed >= windows_limit {
+                break 'stream;
+            }
+            if windows_limit == 0 {
+                // Pace at the paper's 10 ms sampling period when
+                // running as a long-lived monitor.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+    eprintln!("serve: {observed} windows observed; final scrape state:");
+    eprint!("{}", guard.registry().snapshot().summary());
+    server.shutdown()?;
+    Ok(())
+}
+
+/// `repro trace-report` — load a `--trace-jsonl` log and print where
+/// the time went: per-name aggregates, the critical path, and
+/// optionally a flamegraph collapsed-stack file.
+fn trace_report(args: &[String]) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut collapsed_out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--collapsed" => match iter.next() {
+                Some(path) => collapsed_out = Some(path.clone()),
+                None => {
+                    eprintln!("--collapsed needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_owned()),
+            other => {
+                eprintln!("trace-report: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: repro trace-report <trace.jsonl> [--collapsed PATH]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::parse_jsonl(&text) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ms = |ns: u64| format!("{:.1}", ns as f64 / 1e6);
+
+    println!(
+        "# trace report — {} spans in {} trees, {} ms covered\n",
+        trace.len(),
+        trace.roots.len(),
+        ms(trace.total_ns())
+    );
+    let mut table = TextTable::new(vec!["span", "count", "total ms", "self ms", "max ms"]);
+    for row in trace.aggregate() {
+        table.row(vec![
+            row.name,
+            row.count.to_string(),
+            ms(row.total_ns),
+            ms(row.self_ns),
+            ms(row.max_ns),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\ncritical path (heaviest child at each level):");
+    for (depth, hop) in trace.critical_path().iter().enumerate() {
+        println!(
+            "{}{} — {} ms ({:.0}% of parent, {} ms self)",
+            "  ".repeat(depth),
+            hop.name,
+            ms(hop.duration_ns),
+            hop.share_of_parent * 100.0,
+            ms(hop.self_ns),
+        );
+    }
+
+    if let Some(path) = collapsed_out {
+        if let Err(e) = std::fs::write(&path, trace.collapsed()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (folded stacks; feed to a flamegraph renderer)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro bench-diff` — gate on timing regressions between two
+/// `BENCH_repro.json` files. Exits nonzero when the reports are
+/// incomparable or any phase (or the collection cache) regressed.
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut max_regress_pct = 25.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = iter.next().cloned(),
+            "--current" => current = iter.next().cloned(),
+            "--max-regress-pct" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => max_regress_pct = pct,
+                _ => {
+                    eprintln!("--max-regress-pct needs a non-negative number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("bench-diff: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline, current) else {
+        eprintln!("usage: repro bench-diff --baseline PATH --current PATH [--max-regress-pct N]");
+        return ExitCode::FAILURE;
+    };
+    let load = |path: &str| -> Result<diff::LoadedReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        diff::parse_report(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let reports = load(&baseline_path).and_then(|b| Ok((b, load(&current_path)?)));
+    let (baseline_report, current_report) = match reports {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match diff::diff(&baseline_report, &current_report, max_regress_pct) {
+        Ok(result) => {
+            print!("{}", result.render());
+            if result.regressed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run(

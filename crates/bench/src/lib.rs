@@ -1,13 +1,31 @@
 //! Shared plumbing for the `repro` binary and the Criterion benches:
-//! experiment-scale handling, plain-text table rendering, and the
-//! machine-readable timing report (`BENCH_repro.json`).
+//! experiment-scale handling, plain-text table rendering, the
+//! machine-readable timing report (`BENCH_repro.json`), and the
+//! [`diff`] comparison that gates CI on timing regressions.
 
+pub mod diff;
 mod report;
 
 pub use report::{BenchReport, PhaseTiming};
 
 use hbmd_core::experiments::ExperimentConfig;
 use hbmd_perf::CollectorConfig;
+
+/// Thread-normalized FNV-1a digest of an experiment configuration, as
+/// the 16-hex-digit string stamped into `BENCH_repro.json` and the run
+/// manifest.
+///
+/// Thread counts are forced to 1 before digesting: results are
+/// byte-identical at any worker count, so two runs that differ only in
+/// `--threads` are the *same* workload and must stay comparable under
+/// `repro bench-diff` across machines with different core counts.
+pub fn config_digest(config: &ExperimentConfig) -> String {
+    let mut normalized = config.clone();
+    normalized.threads = 1;
+    normalized.collector.threads = 1;
+    let digest = hbmd_obs::manifest::fnv1a_64(format!("{normalized:?}").as_bytes());
+    format!("{digest:016x}")
+}
 
 /// Build an experiment configuration at a catalog scale.
 ///
@@ -144,5 +162,16 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.8571), "85.7%");
+    }
+
+    #[test]
+    fn config_digest_ignores_thread_counts_but_not_scale() {
+        let base = config_at_scale(0.05);
+        let mut threaded = config_at_scale(0.05);
+        threaded.threads = 32;
+        threaded.collector.threads = 16;
+        assert_eq!(config_digest(&base), config_digest(&threaded));
+        assert_ne!(config_digest(&base), config_digest(&config_at_scale(0.1)));
+        assert_eq!(config_digest(&base).len(), 16);
     }
 }

@@ -20,6 +20,15 @@ pub struct PhaseTiming {
 /// The full `BENCH_repro.json` payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
+    /// `hbmd-bench` crate version that produced the report; `repro
+    /// bench-diff` refuses to compare across versions.
+    pub version: String,
+    /// Thread-normalized FNV-1a digest of the run configuration, as a
+    /// hex string (u64 digests do not round-trip through f64 JSON
+    /// numbers). `repro bench-diff` refuses to compare reports whose
+    /// digests differ — a changed scale or experiment set is a
+    /// different workload, not a regression.
+    pub config_digest: String,
     /// Catalog scale the run used.
     pub scale: f64,
     /// Experiment-layer worker threads.
@@ -47,6 +56,11 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.phases.len() * 48);
         out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", json_string(&self.version)));
+        out.push_str(&format!(
+            "  \"config_digest\": {},\n",
+            json_string(&self.config_digest)
+        ));
         out.push_str(&format!("  \"scale\": {},\n", json_f64(self.scale)));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!(
@@ -107,6 +121,8 @@ mod tests {
 
     fn sample() -> BenchReport {
         BenchReport {
+            version: "0.1.0".to_owned(),
+            config_digest: "00deadbeef00cafe".to_owned(),
             scale: 0.05,
             threads: 4,
             collector_threads: 8,
@@ -129,6 +145,8 @@ mod tests {
     #[test]
     fn renders_well_formed_json() {
         let json = sample().to_json();
+        assert!(json.contains("\"version\": \"0.1.0\""));
+        assert!(json.contains("\"config_digest\": \"00deadbeef00cafe\""));
         assert!(json.contains("\"scale\": 0.05"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("{\"name\": \"fig13\", \"wall_ms\": 1200},"));

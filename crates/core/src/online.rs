@@ -40,9 +40,12 @@ pub enum OnlineVerdict {
 /// requires sustained evidence before raising or clearing the alarm,
 /// preventing transient faults from flapping it.
 ///
-/// Alarm raise/clear transitions are recorded as
-/// `online.alarms_raised` / `online.alarms_cleared` counters in the
-/// installed [`hbmd_obs`] context.
+/// The monitor reports into the installed [`hbmd_obs`] context: alarm
+/// raise/clear transitions as `online.alarms_raised` /
+/// `online.alarms_cleared` counters, every fed window as
+/// `online.windows_observed`, per-call wall latency as the
+/// `online.observe_ns` timing histogram, and the vote margin of each
+/// alarm decision as the exact `online.alarm_votes` histogram.
 ///
 /// # Examples
 ///
@@ -225,6 +228,8 @@ impl OnlineDetector {
 
     /// Feed one sampling window; returns the aggregated decision.
     pub fn observe(&mut self, window: &FeatureVector) -> OnlineVerdict {
+        let _latency = hbmd_obs::timer("online.observe_ns");
+        hbmd_obs::incr("online.windows_observed");
         let verdict = self.detector.classify_sanitized(window);
         if self.history.len() == self.window {
             self.history.pop_front();
@@ -258,7 +263,13 @@ impl OnlineDetector {
         } else if was_latched && self.latched.is_none() {
             hbmd_obs::incr("online.alarms_cleared");
         }
-        self.decision()
+        let decision = self.decision();
+        if let OnlineVerdict::Alarm { votes, .. } = decision {
+            // Exact (deterministic-domain) histogram: how much of the
+            // window agreed each time an alarm decision was returned.
+            hbmd_obs::observe("online.alarm_votes", votes as u64);
+        }
+        decision
     }
 
     /// The current aggregated decision without feeding a new window:

@@ -19,7 +19,14 @@
 //!   [`JsonlSink`] for machine-readable event logs,
 //! * [`manifest::RunManifest`] — a run's identity card: config digests,
 //!   seeds, thread counts and crate versions, with wall-clock fields
-//!   segregated so byte-identical-output tests can mask them.
+//!   segregated so byte-identical-output tests can mask them,
+//! * [`prom`] — Prometheus text-format (0.0.4) exposition over a
+//!   metrics snapshot, and [`serve`] — a std-only HTTP server putting
+//!   `/metrics`, `/healthz` and `/manifest` on a TCP port for
+//!   long-running monitors,
+//! * [`trace`] — post-hoc analysis of `JsonlSink` logs: span-tree
+//!   reconstruction, per-span self time, aggregate-by-name tables,
+//!   critical paths, and flamegraph collapsed-stack export.
 //!
 //! # Determinism contract
 //!
@@ -69,8 +76,11 @@
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod prom;
+pub mod serve;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 

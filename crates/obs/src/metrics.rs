@@ -3,9 +3,10 @@
 //!
 //! All aggregation is atomic **integer** arithmetic — adds commute, so
 //! a total is exact and identical no matter how many `par_map` workers
-//! contributed or in what order they ran. Histograms bucket values by
-//! bit length (powers of two), which keeps quantile estimates
-//! deterministic too. Wall-clock histograms (created via
+//! contributed or in what order they ran. Histograms keep the full
+//! value multiset (value → count), so percentiles are exact rank
+//! statistics, plus power-of-two bit-length buckets for the Prometheus
+//! exposition. Wall-clock histograms (created via
 //! [`Registry::timing`]) carry a `wall_clock` marker so
 //! [`MetricsSnapshot::deterministic`] can strip them from
 //! byte-comparison fingerprints.
@@ -17,7 +18,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use crate::json;
 
 /// Number of power-of-two histogram buckets (bit lengths 0..=64).
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -60,12 +61,16 @@ impl Gauge {
     }
 }
 
-/// A distribution of unsigned integer observations in power-of-two
-/// buckets, with exact count/sum/min/max.
+/// A distribution of unsigned integer observations: power-of-two
+/// buckets for cheap exposition, plus the full value multiset for
+/// exact statistics.
 ///
-/// Bucketing by bit length makes every derived statistic a pure
-/// function of the multiset of recorded values — independent of
-/// recording order and thread interleaving.
+/// Both representations are pure functions of the multiset of recorded
+/// values — independent of recording order and thread interleaving —
+/// so counts, sums and **percentiles are exact**, not bucket estimates.
+/// The buckets survive because the Prometheus exposition
+/// ([`prom`](crate::prom)) renders cumulative `_bucket` series from
+/// them without walking the multiset.
 #[derive(Debug)]
 pub struct Histogram {
     wall_clock: bool,
@@ -74,6 +79,8 @@ pub struct Histogram {
     min: AtomicU64,
     max: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    /// value → occurrences; the source of exact percentiles.
+    values: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl Histogram {
@@ -85,6 +92,7 @@ impl Histogram {
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            values: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -102,6 +110,12 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
         let bucket = (u64::BITS - value.leading_zeros()) as usize;
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        *self
+            .values
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(value)
+            .or_insert(0) += 1;
     }
 
     /// Observations recorded so far.
@@ -110,28 +124,36 @@ impl Histogram {
     }
 
     fn snapshot(&self, name: &str, labels: &[(String, String)]) -> HistogramSnapshot {
-        let count = self.count.load(Ordering::Relaxed);
-        let buckets: Vec<u64> = self
-            .buckets
+        // Snapshot the multiset first: values recorded *while* we read
+        // the atomics can only make `count` >= the multiset total, and
+        // quantiles rank against the multiset's own total, so the
+        // percentiles stay internally consistent.
+        let values: Vec<(u64, u64)> = self
+            .values
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|(&v, &n)| (v, n))
             .collect();
+        let total: u64 = values.iter().map(|&(_, n)| n).sum();
+        // Exact percentile by rank: the smallest recorded value whose
+        // cumulative count reaches ceil(total * q). No interpolation —
+        // the returned number was actually observed.
         let quantile = |q: f64| -> u64 {
-            if count == 0 {
+            if total == 0 {
                 return 0;
             }
-            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let rank = (((total as f64) * q).ceil()).clamp(1.0, total as f64) as u64;
             let mut seen = 0u64;
-            for (bits, &n) in buckets.iter().enumerate() {
+            for &(value, n) in &values {
                 seen += n;
                 if seen >= rank {
-                    // Upper bound of the bucket: values of this bit
-                    // length are < 2^bits (bucket 0 holds only zero).
-                    return if bits == 0 { 0 } else { (1u64 << bits) - 1 };
+                    return value;
                 }
             }
-            self.max.load(Ordering::Relaxed)
+            values.last().map_or(0, |&(v, _)| v)
         };
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             name: name.to_owned(),
             labels: labels.to_vec(),
@@ -147,6 +169,11 @@ impl Histogram {
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -327,12 +354,15 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest observation.
     pub max: u64,
-    /// Median estimate (power-of-two bucket upper bound).
+    /// Exact median (rank-based over the recorded multiset).
     pub p50: u64,
-    /// 95th-percentile estimate.
+    /// Exact 95th percentile.
     pub p95: u64,
-    /// 99th-percentile estimate.
+    /// Exact 99th percentile.
     pub p99: u64,
+    /// Power-of-two bucket counts by bit length (65 entries), feeding
+    /// the Prometheus `_bucket` series.
+    pub buckets: Vec<u64>,
 }
 
 /// A point-in-time copy of a [`Registry`], renderable as JSON or a
@@ -634,6 +664,38 @@ mod tests {
         assert!(json.contains("\"wall_clock\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn percentiles_are_exact_rank_statistics() {
+        let registry = Registry::new();
+        let h = registry.histogram("latency");
+        // 100 observations: 1..=100. Exact p50 = 50, p95 = 95, p99 = 99
+        // — the bucket upper bounds (63, 127) must NOT leak through.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snapshot = registry.snapshot();
+        let h = snapshot.histogram("latency", &[]).expect("histogram");
+        assert_eq!((h.p50, h.p95, h.p99), (50, 95, 99));
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn percentiles_respect_duplicate_mass() {
+        let registry = Registry::new();
+        let h = registry.histogram("dup");
+        for _ in 0..99 {
+            h.record(7);
+        }
+        h.record(1_000_000);
+        let snapshot = registry.snapshot();
+        let h = snapshot.histogram("dup", &[]).expect("histogram");
+        assert_eq!((h.p50, h.p95), (7, 7));
+        assert_eq!(h.p99, 7); // rank 99 of 100 still lands on the mass
+        assert_eq!(h.max, 1_000_000);
     }
 
     #[test]

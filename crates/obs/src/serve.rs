@@ -1,0 +1,311 @@
+//! A tiny, dependency-free HTTP exposition server for long-running
+//! monitors: `/metrics` (Prometheus text format 0.0.4), `/healthz`,
+//! and `/manifest` (the run's [`RunManifest`](crate::manifest) JSON).
+//!
+//! This is deliberately not a web framework: one `TcpListener`, one
+//! accept-loop thread, one short-lived thread per connection, HTTP/1.0
+//! semantics (`Connection: close`, explicit `Content-Length`). That is
+//! all a scrape endpoint needs, and it keeps the observability layer's
+//! "std only, loadable from every crate" contract intact.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbmd_obs::{serve, Registry};
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! registry.counter("demo.requests").add(3);
+//! // Port 0 = ephemeral: the OS picks a free port.
+//! let server = serve::serve("127.0.0.1:0", serve::ServeContext {
+//!     registry: registry.clone(),
+//!     manifest_json: "{}".to_owned(),
+//! })?;
+//!
+//! let mut stream = std::net::TcpStream::connect(server.local_addr())?;
+//! write!(stream, "GET /metrics HTTP/1.0\r\n\r\n")?;
+//! let mut response = String::new();
+//! stream.read_to_string(&mut response)?;
+//! assert!(response.starts_with("HTTP/1.0 200 OK"));
+//! assert!(response.contains("hbmd_demo_requests_total 3"));
+//! server.shutdown()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+use crate::prom;
+
+/// What the server exposes: a live registry and a pre-rendered
+/// manifest document.
+#[derive(Clone)]
+pub struct ServeContext {
+    /// Snapshotted afresh on every `/metrics` request.
+    pub registry: Arc<Registry>,
+    /// Served verbatim at `/manifest` (must be a JSON document).
+    pub manifest_json: String,
+}
+
+impl std::fmt::Debug for ServeContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeContext").finish_non_exhaustive()
+    }
+}
+
+/// A running exposition server; dropping it (or calling
+/// [`shutdown`](Server::shutdown)) stops the accept loop.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:9185"`, port `0` for ephemeral) and
+/// serve the context until [`Server::shutdown`] or drop.
+///
+/// # Errors
+///
+/// Propagates the bind failure; per-connection I/O errors are absorbed
+/// by the accept loop (a broken scrape must not kill the monitor).
+pub fn serve(addr: impl ToSocketAddrs, context: ServeContext) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let loop_stop = Arc::clone(&stop);
+    let accept_loop = std::thread::Builder::new()
+        .name("hbmd-obs-serve".to_owned())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if loop_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let context = context.clone();
+                // Short-lived worker per connection so one stuck
+                // client cannot block the next scrape.
+                let _ = std::thread::Builder::new()
+                    .name("hbmd-obs-conn".to_owned())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &context);
+                    });
+            }
+        })?;
+    Ok(Server {
+        local_addr,
+        stop,
+        accept_loop: Some(accept_loop),
+    })
+}
+
+impl Server {
+    /// The bound address — with port `0` this is where the OS put us.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the accept-loop thread panicked.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop_and_join()
+            .map_err(|_| io::Error::other("serve accept loop panicked"))
+    }
+
+    fn stop_and_join(&mut self) -> std::thread::Result<()> {
+        let Some(handle) = self.accept_loop.take() else {
+            return Ok(());
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so the loop observes the flag. A
+        // failure here means the listener is already dead, which is
+        // fine — the loop exits on the accept error path too.
+        let _ = TcpStream::connect(self.local_addr);
+        handle.join()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.stop_and_join();
+    }
+}
+
+/// Maximum bytes of request head we are willing to buffer.
+const MAX_REQUEST: usize = 16 * 1024;
+
+fn handle_connection(mut stream: TcpStream, context: &ServeContext) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request = read_request_head(&mut stream)?;
+    let (status, content_type, body) = route(&request, context);
+    let head_only = request.method == "HEAD";
+    write_response(&mut stream, status, content_type, &body, head_only)
+}
+
+struct Request {
+    method: String,
+    path: String,
+}
+
+fn read_request_head(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut buffer = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+        if buffer.windows(4).any(|w| w == b"\r\n\r\n") || buffer.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buffer.len() > MAX_REQUEST {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buffer);
+    let first = text.lines().next().unwrap_or_default();
+    let mut parts = first.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let target = parts.next().unwrap_or_default();
+    // Strip any query string; scrape endpoints take no parameters.
+    let path = target.split('?').next().unwrap_or_default().to_owned();
+    Ok(Request { method, path })
+}
+
+fn route(request: &Request, context: &ServeContext) -> (&'static str, &'static str, String) {
+    if request.method != "GET" && request.method != "HEAD" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        );
+    }
+    match request.path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            prom::CONTENT_TYPE,
+            prom::render(&context.registry.snapshot()),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        "/manifest" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            context.manifest_json.clone(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /healthz, /manifest\n".to_owned(),
+        ),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    head_only: bool,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn routes_and_shutdown() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("serve.test").add(9);
+        let server = serve(
+            "127.0.0.1:0",
+            ServeContext {
+                registry,
+                manifest_json: "{\"tool\": \"test\"}".to_owned(),
+            },
+        )
+        .expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("hbmd_serve_test_total 9"));
+
+        let health = get(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.ends_with("ok\n"));
+
+        let manifest = get(addr, "GET /manifest HTTP/1.0\r\n\r\n");
+        assert!(manifest.contains("application/json"));
+        assert!(manifest.contains("{\"tool\": \"test\"}"));
+
+        let missing = get(addr, "GET /nope HTTP/1.0\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+
+        let put = get(addr, "PUT /metrics HTTP/1.0\r\n\r\n");
+        assert!(put.starts_with("HTTP/1.0 405"));
+
+        server.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn head_requests_omit_the_body() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServeContext {
+                registry: Arc::new(Registry::new()),
+                manifest_json: "{}".to_owned(),
+            },
+        )
+        .expect("bind");
+        let response = get(server.local_addr(), "HEAD /healthz HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 200 OK"));
+        assert!(response.contains("Content-Length: 3"));
+        assert!(!response.ends_with("ok\n"));
+    }
+
+    #[test]
+    fn query_strings_are_ignored() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServeContext {
+                registry: Arc::new(Registry::new()),
+                manifest_json: "{}".to_owned(),
+            },
+        )
+        .expect("bind");
+        let response = get(
+            server.local_addr(),
+            "GET /healthz?verbose=1 HTTP/1.0\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.0 200 OK"));
+    }
+}

@@ -1,0 +1,487 @@
+//! Post-hoc trace analysis: load a `--trace-jsonl` event log back into
+//! span trees and compute where the time actually went.
+//!
+//! The [`JsonlSink`](crate::sink::JsonlSink) writes one JSON object per
+//! closed span; [`Trace::parse_jsonl`] rebuilds the forest those
+//! records describe (spans opened on worker threads have no recorded
+//! parent and surface as additional roots, exactly as the sink saw
+//! them). On top of the forest:
+//!
+//! * [`Trace::self_ns`] — per-span *self time* (duration minus direct
+//!   children; the time a span spent doing its own work),
+//! * [`Trace::aggregate`] — totals per span name, ranked by self time:
+//!   the "where do I optimise" table,
+//! * [`Trace::critical_path`] — the chain of heaviest spans from the
+//!   heaviest root down to a leaf,
+//! * [`Trace::collapsed`] — Brendan-Gregg-style folded stacks
+//!   (`root;child;leaf <self_ns>`), ready for any flamegraph renderer.
+//!
+//! All outputs are pure functions of the record set: stable ordering,
+//! no clocks, no environment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{self, Value};
+use crate::span::{FieldValue, SpanRecord};
+
+/// Why a trace failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line was not a valid JSON object (1-based line number, cause).
+    Malformed(usize, String),
+    /// A span object lacked a required key (1-based line number, key).
+    MissingKey(usize, &'static str),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Malformed(line, cause) => {
+                write!(f, "trace line {line}: {cause}")
+            }
+            TraceError::MissingKey(line, key) => {
+                write!(f, "trace line {line}: span object missing `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One node of the reconstructed span forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// The record as the sink delivered it.
+    pub record: SpanRecord,
+    /// Indices (into [`Trace::spans`]) of direct children, ordered by
+    /// start time then id.
+    pub children: Vec<usize>,
+}
+
+/// A reconstructed span forest with its analysis queries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// All spans, ordered by (start_ns, id).
+    pub spans: Vec<TraceSpan>,
+    /// Indices of the roots (no parent, or parent not in the trace),
+    /// ordered by start time then id.
+    pub roots: Vec<usize>,
+}
+
+/// Aggregated totals for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameAggregate {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of their durations.
+    pub total_ns: u64,
+    /// Sum of their self times (duration minus direct children).
+    pub self_ns: u64,
+    /// Longest single duration.
+    pub max_ns: u64,
+}
+
+/// One hop of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalHop {
+    /// Index into [`Trace::spans`].
+    pub index: usize,
+    /// Span name.
+    pub name: String,
+    /// The span's full duration.
+    pub duration_ns: u64,
+    /// The span's self time.
+    pub self_ns: u64,
+    /// Fraction of the parent hop's duration (1.0 for the root).
+    pub share_of_parent: f64,
+}
+
+impl Trace {
+    /// Rebuild the forest from sink-order records (inner spans close
+    /// first — the order [`MemorySink`](crate::sink::MemorySink) and
+    /// the JSONL log both use).
+    pub fn from_records(records: &[SpanRecord]) -> Trace {
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        order.sort_by_key(|&i| (records[i].start_ns, records[i].id));
+        let mut spans: Vec<TraceSpan> = order
+            .iter()
+            .map(|&i| TraceSpan {
+                record: records[i].clone(),
+                children: Vec::new(),
+            })
+            .collect();
+        let index_of: BTreeMap<u64, usize> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.record.id, i))
+            .collect();
+        let mut roots = Vec::new();
+        for i in 0..spans.len() {
+            match spans[i].record.parent.and_then(|p| index_of.get(&p)) {
+                Some(&parent) if parent != i => spans[parent].children.push(i),
+                // Orphans (parent never closed, cross-thread spans, or
+                // a truncated log) become roots rather than vanishing.
+                _ => roots.push(i),
+            }
+        }
+        // Children were pushed in (start, id) order because `i` walks
+        // the sorted span list; roots likewise.
+        Trace { spans, roots }
+    }
+
+    /// Parse a JSONL event log (the `--trace-jsonl` output). Lines
+    /// whose `type` is not `"span"` are ignored, so the format can
+    /// grow other event kinds without breaking old analyzers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] with the 1-based line number of the
+    /// first malformed line.
+    pub fn parse_jsonl(text: &str) -> Result<Trace, TraceError> {
+        let mut records = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            let number = number + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value =
+                json::parse(line).map_err(|e| TraceError::Malformed(number, e.to_string()))?;
+            if value.get("type").and_then(Value::as_str) != Some("span") {
+                continue;
+            }
+            records.push(span_record(&value, number)?);
+        }
+        Ok(Trace::from_records(&records))
+    }
+
+    /// Number of spans in the trace.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when the trace holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Self time of the span at `index`: its duration minus the summed
+    /// durations of its direct children, floored at zero (children on
+    /// the same thread can marginally overshoot through clock
+    /// granularity).
+    pub fn self_ns(&self, index: usize) -> u64 {
+        let span = &self.spans[index];
+        let children: u64 = span
+            .children
+            .iter()
+            .map(|&c| self.spans[c].record.duration_ns)
+            .sum();
+        span.record.duration_ns.saturating_sub(children)
+    }
+
+    /// Sum of the root spans' durations — the trace's total covered
+    /// wall-clock (roots on parallel threads may overlap; this is the
+    /// sum of their individual spans, not elapsed time).
+    pub fn total_ns(&self) -> u64 {
+        self.roots
+            .iter()
+            .map(|&r| self.spans[r].record.duration_ns)
+            .sum()
+    }
+
+    /// Totals per span name, ranked by self time (descending), ties by
+    /// name.
+    pub fn aggregate(&self) -> Vec<NameAggregate> {
+        let mut by_name: BTreeMap<&str, NameAggregate> = BTreeMap::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            let entry = by_name
+                .entry(span.record.name.as_str())
+                .or_insert_with(|| NameAggregate {
+                    name: span.record.name.clone(),
+                    count: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    max_ns: 0,
+                });
+            entry.count += 1;
+            entry.total_ns += span.record.duration_ns;
+            entry.self_ns += self.self_ns(i);
+            entry.max_ns = entry.max_ns.max(span.record.duration_ns);
+        }
+        let mut rows: Vec<NameAggregate> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// The critical path: starting from the longest root, repeatedly
+    /// descend into the longest child. Ties resolve to the earliest
+    /// start, then the lowest id — deterministic for a given log.
+    pub fn critical_path(&self) -> Vec<CriticalHop> {
+        let heaviest = |candidates: &[usize]| -> Option<usize> {
+            candidates.iter().copied().max_by(|&a, &b| {
+                let ra = &self.spans[a].record;
+                let rb = &self.spans[b].record;
+                ra.duration_ns
+                    .cmp(&rb.duration_ns)
+                    .then(rb.start_ns.cmp(&ra.start_ns))
+                    .then(rb.id.cmp(&ra.id))
+            })
+        };
+        let mut path = Vec::new();
+        let Some(mut current) = heaviest(&self.roots) else {
+            return path;
+        };
+        let mut parent_duration = None::<u64>;
+        loop {
+            let record = &self.spans[current].record;
+            path.push(CriticalHop {
+                index: current,
+                name: record.name.clone(),
+                duration_ns: record.duration_ns,
+                self_ns: self.self_ns(current),
+                share_of_parent: match parent_duration {
+                    Some(parent) if parent > 0 => record.duration_ns as f64 / parent as f64,
+                    _ => 1.0,
+                },
+            });
+            parent_duration = Some(record.duration_ns);
+            match heaviest(&self.spans[current].children) {
+                Some(child) => current = child,
+                None => return path,
+            }
+        }
+    }
+
+    /// Folded-stack export: one line per distinct stack,
+    /// `root;child;leaf <self_ns>`, sorted lexicographically. Feed it
+    /// to any flamegraph renderer (`flamegraph.pl`, speedscope, …).
+    /// Semicolons in span names are replaced with `_` to keep the
+    /// stack separator unambiguous.
+    pub fn collapsed(&self) -> String {
+        fn frame(name: &str) -> String {
+            name.replace([';', '\n', '\r'], "_")
+        }
+        fn walk(
+            trace: &Trace,
+            index: usize,
+            stack: &mut Vec<String>,
+            folded: &mut BTreeMap<String, u64>,
+        ) {
+            stack.push(frame(&trace.spans[index].record.name));
+            let self_ns = trace.self_ns(index);
+            if self_ns > 0 {
+                *folded.entry(stack.join(";")).or_insert(0) += self_ns;
+            }
+            for &child in &trace.spans[index].children {
+                walk(trace, child, stack, folded);
+            }
+            stack.pop();
+        }
+        let mut folded = BTreeMap::new();
+        let mut stack = Vec::new();
+        for &root in &self.roots {
+            walk(self, root, &mut stack, &mut folded);
+        }
+        let mut out = String::new();
+        for (stack, ns) in folded {
+            out.push_str(&format!("{stack} {ns}\n"));
+        }
+        out
+    }
+}
+
+fn span_record(value: &Value, line: usize) -> Result<SpanRecord, TraceError> {
+    let need_u64 = |key: &'static str| -> Result<u64, TraceError> {
+        value
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or(TraceError::MissingKey(line, key))
+    };
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or(TraceError::MissingKey(line, "name"))?
+        .to_owned();
+    let parent = match value.get("parent") {
+        Some(Value::Null) | None => None,
+        Some(v) => Some(v.as_u64().ok_or(TraceError::MissingKey(line, "parent"))?),
+    };
+    let fields = match value.get("fields") {
+        Some(Value::Object(members)) => members
+            .iter()
+            .map(|(k, v)| (k.clone(), field_value(v)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(SpanRecord {
+        id: need_u64("id")?,
+        parent,
+        depth: need_u64("depth")? as usize,
+        name,
+        fields,
+        start_ns: need_u64("start_ns")?,
+        duration_ns: need_u64("duration_ns")?,
+    })
+}
+
+/// Map a parsed JSON value back onto the closest [`FieldValue`].
+/// Unsigned integers come back as `Uint`, other numbers as `Int` or
+/// `Float` — the JSONL rendering does not distinguish `Int(3)` from
+/// `Uint(3)`, so a roundtrip normalises to the unsigned form.
+fn field_value(value: &Value) -> FieldValue {
+    match value {
+        Value::Bool(b) => FieldValue::Bool(*b),
+        Value::Str(s) => FieldValue::Str(s.clone()),
+        Value::Num(n) => {
+            if let Some(u) = value.as_u64() {
+                FieldValue::Uint(u)
+            } else if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n < 0.0 {
+                FieldValue::Int(*n as i64)
+            } else {
+                FieldValue::Float(*n)
+            }
+        }
+        _ => FieldValue::Str(String::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start_ns: u64,
+        duration_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            depth: 0,
+            name: name.to_owned(),
+            fields: Vec::new(),
+            start_ns,
+            duration_ns,
+        }
+    }
+
+    /// root(100ns) -> a(60) -> leaf(10); root -> b(25); orphan(40).
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            record(3, Some(2), "leaf", 20, 10),
+            record(2, Some(1), "a", 10, 60),
+            record(4, Some(1), "b", 75, 25),
+            record(1, None, "root", 0, 100),
+            record(9, Some(77), "orphan", 5, 40),
+        ]
+    }
+
+    #[test]
+    fn forest_rebuilds_parent_links_and_self_time() {
+        let trace = Trace::from_records(&sample());
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.roots.len(), 2, "orphan surfaces as a root");
+        let root = trace.roots[0];
+        assert_eq!(trace.spans[root].record.name, "root");
+        assert_eq!(trace.spans[root].children.len(), 2);
+        assert_eq!(trace.self_ns(root), 100 - 60 - 25);
+        let a = trace.spans[root].children[0];
+        assert_eq!(trace.spans[a].record.name, "a");
+        assert_eq!(trace.self_ns(a), 50);
+        assert_eq!(trace.total_ns(), 140);
+    }
+
+    #[test]
+    fn aggregates_rank_by_self_time() {
+        let trace = Trace::from_records(&sample());
+        let rows = trace.aggregate();
+        assert_eq!(rows[0].name, "a", "a has the largest self time");
+        assert_eq!(rows[0].self_ns, 50);
+        let root = rows.iter().find(|r| r.name == "root").expect("root row");
+        assert_eq!((root.count, root.total_ns, root.self_ns), (1, 100, 15));
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_children() {
+        let trace = Trace::from_records(&sample());
+        let path = trace.critical_path();
+        let names: Vec<&str> = path.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["root", "a", "leaf"]);
+        assert!((path[0].share_of_parent - 1.0).abs() < 1e-12);
+        assert!((path[1].share_of_parent - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapsed_stacks_fold_self_time() {
+        let trace = Trace::from_records(&sample());
+        let collapsed = trace.collapsed();
+        let lines: Vec<&str> = collapsed.lines().collect();
+        assert!(lines.contains(&"root 15"));
+        assert!(lines.contains(&"root;a 50"));
+        assert!(lines.contains(&"root;a;leaf 10"));
+        assert!(lines.contains(&"root;b 25"));
+        assert!(lines.contains(&"orphan 40"));
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, trace.total_ns(), "self times partition the total");
+    }
+
+    #[test]
+    fn jsonl_roundtrip_reproduces_the_exact_tree() {
+        let records = sample();
+        let jsonl: String = records
+            .iter()
+            .map(|r| format!("{}\n", r.to_json_line()))
+            .collect();
+        let parsed = Trace::parse_jsonl(&jsonl).expect("parse");
+        assert_eq!(parsed, Trace::from_records(&records));
+    }
+
+    #[test]
+    fn non_span_lines_and_blanks_are_skipped() {
+        let text = "\n{\"type\": \"meta\", \"x\": 1}\n".to_owned()
+            + &record(1, None, "only", 0, 5).to_json_line();
+        let trace = Trace::parse_jsonl(&text).expect("parse");
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let text = format!("{}\nnot json\n", record(1, None, "x", 0, 1).to_json_line());
+        match Trace::parse_jsonl(&text) {
+            Err(TraceError::Malformed(2, _)) => {}
+            other => panic!("expected Malformed(2, _), got {other:?}"),
+        }
+        let missing = "{\"type\": \"span\", \"name\": \"x\"}";
+        assert!(matches!(
+            Trace::parse_jsonl(missing),
+            Err(TraceError::MissingKey(1, "id"))
+        ));
+    }
+
+    #[test]
+    fn hostile_span_names_roundtrip_through_the_log() {
+        let hostile = "evil\"name\u{1}\n;with\u{2028}everything";
+        let record = SpanRecord {
+            id: 1,
+            parent: None,
+            depth: 0,
+            name: hostile.to_owned(),
+            fields: vec![("k".to_owned(), FieldValue::Str("v\"\u{7f}".to_owned()))],
+            start_ns: 0,
+            duration_ns: 9,
+        };
+        let line = record.to_json_line();
+        assert!(!line.contains('\n'), "the JSONL line must stay one line");
+        let trace = Trace::parse_jsonl(&line).expect("parse hostile");
+        assert_eq!(trace.spans[0].record.name, hostile);
+        // The collapsed export neutralises the separator characters.
+        assert!(!trace.collapsed().contains(';') || trace.collapsed().matches(';').count() == 0);
+    }
+}
