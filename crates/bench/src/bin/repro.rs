@@ -54,25 +54,31 @@
 //!   exiting nonzero on wall-clock or cache regressions; reports from
 //!   different versions, config digests, or phase sets are refused.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use hbmd_bench::{config_at_scale, config_digest, diff, pct, BenchReport, PhaseTiming, TextTable};
+use hbmd_bench::{
+    config_at_scale, config_digest, diff, pct, resilience, BenchReport, PhaseTiming, TextTable,
+};
 use hbmd_core::experiments::{
     self, binary, ensemble, hardware, latency, multiclass, pca, robustness, roc, ExperimentConfig,
 };
+use hbmd_core::snapshot::{self, SnapshotError};
 use hbmd_core::{
     to_binary_dataset, ClassifierKind, CollectCache, DetectorBuilder, FeaturePlan, FeatureSet,
-    OnlineDetector, OnlineVerdict,
+    OnlineDetector,
 };
 use hbmd_fpga::SynthConfig;
-use hbmd_malware::{AppClass, Sample, SampleId};
+use hbmd_malware::AppClass;
 use hbmd_ml::Evaluation;
+use hbmd_obs::health::Health;
 use hbmd_obs::manifest::RunManifest;
 use hbmd_obs::trace::Trace;
 use hbmd_obs::{serve, JsonlSink, Obs};
-use hbmd_perf::{PmuConfig, Sampler, SamplerConfig};
+use hbmd_perf::PmuConfig;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,6 +87,7 @@ fn main() -> ExitCode {
     // is untouched.
     match args.first().map(String::as_str) {
         Some("serve") => return serve_mode(&args[1..]),
+        Some("chaos") => return chaos_mode(&args[1..]),
         Some("trace-report") => return trace_report(&args[1..]),
         Some("bench-diff") => return bench_diff(&args[1..]),
         _ => {}
@@ -289,6 +296,8 @@ fn print_usage() {
         "usage: repro [--scale F | --paper | --fast] [--threads N] [--bench-json PATH]\n\
          \x20      [--trace-jsonl PATH] [--metrics-json PATH] <experiment>...\n\
          \x20      repro serve [--scale F | --fast] [--addr HOST:PORT] [--windows N]\n\
+         \x20                  [--checkpoint PATH] [--checkpoint-every N]\n\
+         \x20      repro chaos [--scale F] [--windows N] [--checkpoint-every N] [--dir PATH]\n\
          \x20      repro trace-report <trace.jsonl> [--collapsed PATH]\n\
          \x20      repro bench-diff --baseline PATH --current PATH [--max-regress-pct N]\n\
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
@@ -331,16 +340,63 @@ fn build_manifest(scale: f64, config: &ExperimentConfig, experiments: &[String])
     manifest
 }
 
+/// Cooperative SIGINT flag: the handler only raises it; the pipeline
+/// polls it, flushes a final checkpoint, and exits cleanly.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGINT = 2 everywhere we build; no libc crate needed.
+    unsafe {
+        signal(2, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+/// Train the serve/chaos detector: J48 on the top-8 features with the
+/// 4-window vote the serve endpoint has always used.
+fn train_monitor(
+    config: &ExperimentConfig,
+    label: &str,
+) -> Result<OnlineDetector, Box<dyn std::error::Error>> {
+    let cache = CollectCache::new();
+    let collection = cache.collect(config)?;
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::J48)
+        .feature_set(FeatureSet::Top(8))
+        .train_binary(&collection.dataset)?;
+    eprintln!(
+        "{label}: {:.1}% held-out accuracy; monitoring with a 4-window vote, threshold 3",
+        detector.evaluation().accuracy() * 100.0
+    );
+    Ok(OnlineDetector::builder(detector)
+        .window(4)
+        .threshold(3)
+        .build()?)
+}
+
 /// `repro serve` — train a detector, then run the online monitor over a
-/// continuous synthetic workload while exposing `/metrics`, `/healthz`
-/// and `/manifest` over HTTP. With `--windows N` the stream stops after
-/// N windows (integration tests, smoke runs); without it the monitor
-/// paces at the paper's 10 ms window cadence until killed.
+/// continuous synthetic workload while exposing `/metrics`, `/healthz`,
+/// `/readyz` and `/manifest` over HTTP. With `--windows N` the stream
+/// stops after N windows (integration tests, smoke runs); without it
+/// the monitor paces at the paper's 10 ms window cadence until killed.
+/// With `--checkpoint PATH` the monitor state is checkpointed and a
+/// restart resumes from the last good snapshot instead of retraining.
 fn serve_mode(args: &[String]) -> ExitCode {
     let mut scale = 0.05f64;
     let mut addr = "127.0.0.1:9185".to_owned();
     let mut windows_limit = 0u64;
     let mut threads: Option<usize> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut checkpoint_every = 64u64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -374,6 +430,20 @@ fn serve_mode(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--checkpoint" => match iter.next() {
+                Some(path) => checkpoint = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--checkpoint needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-every" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => checkpoint_every = n,
+                _ => {
+                    eprintln!("--checkpoint-every needs a positive window count");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("serve: unexpected argument `{other}`");
                 return ExitCode::FAILURE;
@@ -385,7 +455,14 @@ fn serve_mode(args: &[String]) -> ExitCode {
         config.threads = n;
         config.collector.threads = n;
     }
-    match run_monitor(&config, scale, &addr, windows_limit) {
+    match run_monitor(
+        &config,
+        scale,
+        &addr,
+        windows_limit,
+        checkpoint,
+        checkpoint_every,
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("serve: {e}");
@@ -399,29 +476,47 @@ fn run_monitor(
     scale: f64,
     addr: &str,
     windows_limit: u64,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: u64,
 ) -> Result<(), Box<dyn std::error::Error>> {
     // Fresh context so the endpoint exports only this monitor's
     // counters; the guard lives for the whole serve session.
     let guard = hbmd_obs::install(Obs::new());
+    install_sigint_handler();
+    let health = Arc::new(Health::new());
 
-    eprintln!(
-        "serve: training J48 detector at scale {scale} ({} samples)...",
-        config.catalog().len()
-    );
-    let cache = CollectCache::new();
-    let collection = cache.collect(config)?;
-    let detector = DetectorBuilder::new()
-        .classifier(ClassifierKind::J48)
-        .feature_set(FeatureSet::Top(8))
-        .train_binary(&collection.dataset)?;
-    eprintln!(
-        "serve: {:.1}% held-out accuracy; monitoring with a 4-window vote, threshold 3",
-        detector.evaluation().accuracy() * 100.0
-    );
-    let mut monitor = OnlineDetector::builder(detector)
-        .window(4)
-        .threshold(3)
-        .build()?;
+    let config_digest_u64 =
+        u64::from_str_radix(&config_digest(config), 16).expect("digest is 16 hex digits");
+    // A good checkpoint for this exact configuration resumes the
+    // monitor without retraining; anything refused falls back to a
+    // fresh training run (and says why).
+    let resumed = match &checkpoint {
+        Some(path) if path.exists() => match snapshot::load(path, config_digest_u64) {
+            Ok(snap) => {
+                eprintln!(
+                    "serve: resumed from {} at window {} (training skipped)",
+                    path.display(),
+                    snap.cursor
+                );
+                Some(snap.monitor)
+            }
+            Err(e) => {
+                eprintln!("serve: checkpoint refused ({e}); retraining");
+                None
+            }
+        },
+        _ => None,
+    };
+    let monitor = match resumed {
+        Some(monitor) => monitor,
+        None => {
+            eprintln!(
+                "serve: training J48 detector at scale {scale} ({} samples)...",
+                config.catalog().len()
+            );
+            train_monitor(config, "serve")?
+        }
+    };
 
     let manifest = build_manifest(scale, config, &["serve".to_owned()]);
     let server = serve::serve(
@@ -429,60 +524,273 @@ fn run_monitor(
         serve::ServeContext {
             registry: Arc::clone(guard.registry()),
             manifest_json: manifest.to_json(),
+            health: Some(Arc::clone(&health)),
         },
     )?;
     eprintln!(
-        "serve: http://{} — /metrics (Prometheus 0.0.4), /healthz, /manifest",
+        "serve: http://{} — /metrics (Prometheus 0.0.4), /healthz, /readyz, /manifest",
         server.local_addr()
     );
-
-    // A continuous synthetic timeline: mostly benign background with
-    // each malware family injected in turn, so every verdict counter
-    // and the alarm state machine stay live.
-    let phases = [
-        AppClass::Benign,
-        AppClass::Worm,
-        AppClass::Benign,
-        AppClass::Virus,
-        AppClass::Benign,
-        AppClass::Trojan,
-        AppClass::Benign,
-        AppClass::Rootkit,
-        AppClass::Benign,
-        AppClass::Backdoor,
-    ];
-    let sampler = Sampler::new(SamplerConfig {
-        windows_per_sample: 16,
-        ..config.collector.sampler.clone()
-    })?;
-    let mut observed = 0u64;
-    let mut sample_index = 0u64;
-    'stream: loop {
-        let class = phases[(sample_index % phases.len() as u64) as usize];
-        let id = SampleId(9_000u32.wrapping_add(sample_index as u32));
-        let sample = Sample::generate(id, class, 101 + sample_index);
-        sample_index += 1;
-        for window in sampler.collect_sample(&sample) {
-            if let OnlineVerdict::Alarm { family, votes, of } = monitor.observe(&window) {
-                if observed.is_multiple_of(16) {
-                    eprintln!("serve: ALARM ({family}, {votes}/{of} windows) at window {observed}");
-                }
-            }
-            observed += 1;
-            if windows_limit > 0 && observed >= windows_limit {
-                break 'stream;
-            }
-            if windows_limit == 0 {
-                // Pace at the paper's 10 ms sampling period when
-                // running as a long-lived monitor.
-                std::thread::sleep(std::time::Duration::from_millis(10));
-            }
-        }
+    if let Some(path) = &checkpoint {
+        eprintln!(
+            "serve: checkpointing to {} every {checkpoint_every} windows",
+            path.display()
+        );
     }
-    eprintln!("serve: {observed} windows observed; final scrape state:");
+
+    let pipeline = resilience::PipelineConfig {
+        windows_limit,
+        checkpoint_every: if checkpoint.is_some() {
+            checkpoint_every
+        } else {
+            0
+        },
+        checkpoint_path: checkpoint,
+        config_digest: config_digest_u64,
+        queue_capacity: 32,
+        // Pace at the paper's 10 ms sampling period when running as a
+        // long-lived monitor; stream at full speed for bounded runs.
+        pace: (windows_limit == 0).then(|| Duration::from_millis(10)),
+        // A long-lived monitor sheds load under backpressure; bounded
+        // smoke runs stay lossless so window counts are exact.
+        drop_when_full: windows_limit == 0,
+        max_restarts: 16,
+        backoff_ms: (100, 5_000),
+        sleep_on_backoff: true,
+        breaker: (16, 8, 64),
+        panic_at: Vec::new(),
+        nan_burst: None,
+        stop: Some(Arc::new(AtomicBool::new(false))),
+        health: Some(Arc::clone(&health)),
+        capture_verdicts: false,
+        verbose: true,
+    };
+    // Bridge the process-wide SIGINT flag into the pipeline's stop flag.
+    let stop = pipeline.stop.clone().expect("stop flag just set");
+    let bridge = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                if STOP.load(Ordering::SeqCst) {
+                    stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    let report = resilience::run_pipeline(&monitor, &config.collector.sampler, &pipeline)?;
+    stop.store(true, Ordering::SeqCst);
+    let _ = bridge.join();
+
+    if report.interrupted {
+        eprintln!("serve: interrupted — final checkpoint flushed");
+    }
+    // Mirror the supervisor counters into the scrape registry so the
+    // final snapshot (and any last /metrics pull) carries them.
+    hbmd_obs::gauge_set("supervisor.restarts_total", report.restarts as i64);
+    hbmd_obs::gauge_set("breaker.trips_total", report.trips as i64);
+    eprintln!(
+        "serve: {} windows observed; final scrape state:",
+        report.observed
+    );
     eprint!("{}", guard.registry().snapshot().summary());
     server.shutdown()?;
     Ok(())
+}
+
+/// `repro chaos` — drive the supervised serve pipeline through injected
+/// worker panics, a NaN fault-plan burst, and a deliberately corrupted
+/// checkpoint, asserting the recovery invariants the resilience layer
+/// promises. Exits 0 only when every drill passes.
+fn chaos_mode(args: &[String]) -> ExitCode {
+    let mut scale = 0.05f64;
+    let mut windows = 320u64;
+    let mut checkpoint_every = 32u64;
+    let mut dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 && f <= 1.0 => scale = f,
+                _ => {
+                    eprintln!("--scale needs a fraction in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--windows" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 64 => windows = n,
+                _ => {
+                    eprintln!("--windows needs a count of at least 64");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-every" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => checkpoint_every = n,
+                _ => {
+                    eprintln!("--checkpoint-every needs a positive window count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dir" => match iter.next() {
+                Some(path) => dir = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--dir needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("chaos: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run_chaos(scale, windows, checkpoint_every, dir) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_chaos(
+    scale: f64,
+    windows: u64,
+    checkpoint_every: u64,
+    dir: Option<PathBuf>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let guard = hbmd_obs::install(Obs::new());
+    let dir = match dir {
+        Some(d) => d,
+        None => std::env::temp_dir().join(format!("hbmd-chaos-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let checkpoint = dir.join("monitor.snap");
+    let _ = std::fs::remove_file(&checkpoint);
+
+    let config = config_at_scale(scale);
+    eprintln!(
+        "chaos: training J48 detector at scale {scale} ({} samples)...",
+        config.catalog().len()
+    );
+    let monitor = train_monitor(&config, "chaos")?;
+    let digest = u64::from_str_radix(&config_digest(&config), 16).expect("digest is 16 hex digits");
+    let sampler = &config.collector.sampler;
+
+    // Injected panics are expected: keep them to one stderr line
+    // instead of a full backtrace per restart drill.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("chaos: worker panic: {info}");
+    }));
+
+    let mut passed = true;
+    let mut check = |ok: bool, what: &str| {
+        println!("chaos: {} — {what}", if ok { "ok  " } else { "FAIL" });
+        passed &= ok;
+    };
+
+    // Drill 1: the unfaulted baseline verdict stream.
+    let baseline = resilience::run_pipeline(
+        &monitor,
+        sampler,
+        &resilience::PipelineConfig::lossless(windows),
+    )?;
+    check(
+        baseline.verdicts.iter().all(Option::is_some) && baseline.restarts == 0,
+        "baseline run classifies every window without restarts",
+    );
+
+    // Drill 2: injected worker panics. Recovery must replay from the
+    // last checkpoint and converge on the exact baseline verdicts.
+    let panic_at = vec![windows / 3, 2 * windows / 3];
+    let faulted = resilience::run_pipeline(
+        &monitor,
+        sampler,
+        &resilience::PipelineConfig {
+            checkpoint_every,
+            checkpoint_path: Some(checkpoint.clone()),
+            config_digest: digest,
+            panic_at: panic_at.clone(),
+            ..resilience::PipelineConfig::lossless(windows)
+        },
+    )?;
+    check(
+        faulted.restarts == panic_at.len() as u64,
+        "supervisor restarted the worker once per injected panic",
+    );
+    check(
+        faulted.verdicts == baseline.verdicts,
+        "post-restore verdicts are identical to the unfaulted run",
+    );
+    check(
+        faulted.max_missed_gap <= checkpoint_every + 32,
+        "missed-alarm window is bounded by checkpoint spacing + queue depth",
+    );
+    check(
+        checkpoint.exists(),
+        "final checkpoint flushed on clean shutdown",
+    );
+
+    // Drill 3: corrupt the checkpoint on disk. Loading must refuse it
+    // with a typed error, and a pipeline restart must fall back to the
+    // pristine monitor and still converge on the baseline.
+    let mut bytes = std::fs::read(&checkpoint)?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&checkpoint, &bytes)?;
+    let refusal = snapshot::load(&checkpoint, digest);
+    check(
+        matches!(refusal, Err(SnapshotError::ChecksumMismatch { .. })),
+        "corrupted checkpoint refused with a typed checksum error",
+    );
+    if let Err(e) = &refusal {
+        eprintln!("chaos: refusal was: {e}");
+    }
+    let recovered = resilience::run_pipeline(
+        &monitor,
+        sampler,
+        &resilience::PipelineConfig {
+            checkpoint_every,
+            checkpoint_path: Some(checkpoint.clone()),
+            config_digest: digest,
+            ..resilience::PipelineConfig::lossless(windows)
+        },
+    )?;
+    check(
+        recovered.refusals >= 1 && recovered.verdicts == baseline.verdicts,
+        "corrupt-checkpoint start falls back to retrain and matches the baseline",
+    );
+
+    // Drill 4: a hostile NaN burst. The sanitizer abstains, the breaker
+    // trips into degraded operation, and classification resumes after
+    // the burst passes.
+    let burst = (windows / 4, windows / 4 + 64);
+    let stormy = resilience::run_pipeline(
+        &monitor,
+        sampler,
+        &resilience::PipelineConfig {
+            nan_burst: Some(burst),
+            ..resilience::PipelineConfig::lossless(windows)
+        },
+    )?;
+    check(
+        stormy.trips >= 1 && stormy.degraded > 0,
+        "NaN burst trips the breaker into degraded operation",
+    );
+    check(
+        stormy.verdicts.last().is_some_and(Option::is_some),
+        "classification resumes after the burst clears",
+    );
+
+    let _ = std::fs::remove_file(&checkpoint);
+    let _ = std::fs::remove_dir(&dir);
+    let _ = guard;
+    println!("supervisor.restarts_total {}", faulted.restarts);
+    println!("chaos: {}", if passed { "PASS" } else { "FAIL" });
+    Ok(passed)
 }
 
 /// `repro trace-report` — load a `--trace-jsonl` log and print where

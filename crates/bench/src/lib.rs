@@ -5,6 +5,7 @@
 
 pub mod diff;
 mod report;
+pub mod resilience;
 
 pub use report::{BenchReport, PhaseTiming};
 

@@ -1,0 +1,573 @@
+//! The supervised online-monitoring pipeline behind `repro serve` and
+//! `repro chaos`.
+//!
+//! Three pieces, wired for crash recovery:
+//!
+//! * [`Timeline`] — the deterministic synthetic workload (benign
+//!   background with each malware family injected in turn). Window `k`
+//!   is a pure function of `k`, so a restarted worker regenerates the
+//!   exact windows a crashed worker saw.
+//! * a **producer thread** walking the timeline into a bounded
+//!   channel. When the queue is full the producer either blocks
+//!   (lossless mode, used by chaos replay) or drops the window and
+//!   counts it (backpressure mode, used by the paced live monitor).
+//! * a **supervised worker** running under `catch_unwind` in
+//!   [`run_pipeline`]: it feeds windows to the [`OnlineDetector`],
+//!   checkpoints every `checkpoint_every` windows via
+//!   `hbmd_core::snapshot`, and routes fault decisions through a
+//!   [`CircuitBreaker`]. On a panic the supervisor restores the last
+//!   good checkpoint (or retrains from the pristine monitor when the
+//!   checkpoint is refused), backs off exponentially, and replays from
+//!   the checkpoint cursor — so the externally observable verdict
+//!   sequence is identical to an unfaulted run.
+//!
+//! Fault injection for the chaos harness is part of the pipeline
+//! configuration: single-shot worker panics at chosen cursors and a
+//! NaN burst over a cursor range (standing in for a hostile fault-plan
+//! perturbation, which the sanitizer turns into abstentions and the
+//! breaker into a degraded phase).
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hbmd_core::snapshot::{self, MonitorSnapshot};
+use hbmd_core::supervisor::{Backoff, BreakerState, CircuitBreaker};
+use hbmd_core::{CoreError, OnlineDetector, OnlineVerdict};
+use hbmd_events::{FeatureVector, HpcEvent};
+use hbmd_malware::{AppClass, Sample, SampleId};
+use hbmd_obs::health::{Health, ServiceState};
+use hbmd_perf::{PerfError, Sampler, SamplerConfig};
+
+/// Windows per synthetic sample on the serve timeline.
+pub const WINDOWS_PER_SAMPLE: u64 = 16;
+
+/// The repeating phase schedule: benign background with each malware
+/// family injected in turn.
+pub const PHASES: [AppClass; 10] = [
+    AppClass::Benign,
+    AppClass::Worm,
+    AppClass::Benign,
+    AppClass::Virus,
+    AppClass::Benign,
+    AppClass::Trojan,
+    AppClass::Benign,
+    AppClass::Rootkit,
+    AppClass::Benign,
+    AppClass::Backdoor,
+];
+
+/// The deterministic synthetic workload: window `k` belongs to sample
+/// `k / 16`, whose class follows [`PHASES`] and whose content is
+/// seeded by its index — so any window can be regenerated at any time,
+/// which is what makes checkpoint replay exact.
+pub struct Timeline {
+    sampler: Sampler,
+    cached: Option<(u64, Vec<FeatureVector>)>,
+}
+
+impl Timeline {
+    /// A timeline over the collector's sampler settings (forced to
+    /// [`WINDOWS_PER_SAMPLE`] windows per sample).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler-configuration errors.
+    pub fn new(sampler_config: &SamplerConfig) -> Result<Timeline, PerfError> {
+        let sampler = Sampler::new(SamplerConfig {
+            windows_per_sample: WINDOWS_PER_SAMPLE as usize,
+            ..sampler_config.clone()
+        })?;
+        Ok(Timeline {
+            sampler,
+            cached: None,
+        })
+    }
+
+    /// The ground-truth class of window `cursor`.
+    pub fn class_at(cursor: u64) -> AppClass {
+        let sample_index = cursor / WINDOWS_PER_SAMPLE;
+        PHASES[(sample_index % PHASES.len() as u64) as usize]
+    }
+
+    /// Regenerate window `cursor`. Sequential access is cheap (one
+    /// sample generation per 16 windows); random access still works.
+    pub fn window(&mut self, cursor: u64) -> FeatureVector {
+        let sample_index = cursor / WINDOWS_PER_SAMPLE;
+        let offset = (cursor % WINDOWS_PER_SAMPLE) as usize;
+        let fresh = self.cached.as_ref().map(|(i, _)| *i) != Some(sample_index);
+        if fresh {
+            let class = Timeline::class_at(cursor);
+            let id = SampleId(9_000u32.wrapping_add(sample_index as u32));
+            let sample = Sample::generate(id, class, 101 + sample_index);
+            self.cached = Some((sample_index, self.sampler.collect_sample(&sample)));
+        }
+        self.cached.as_ref().expect("cache just filled").1[offset].clone()
+    }
+}
+
+/// How [`run_pipeline`] should behave — shared by the live monitor
+/// (paced, unbounded, lossy backpressure) and the chaos harness
+/// (unpaced, finite, lossless, with injected faults).
+#[derive(Clone)]
+pub struct PipelineConfig {
+    /// Stop after this many windows; 0 = run until `stop` is raised.
+    pub windows_limit: u64,
+    /// Checkpoint every N processed windows; 0 disables checkpointing.
+    pub checkpoint_every: u64,
+    /// Where the checkpoint lives; `None` disables persistence.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Run-config digest stamped into (and demanded from) snapshots.
+    pub config_digest: u64,
+    /// Bounded producer→worker queue depth.
+    pub queue_capacity: usize,
+    /// Producer pacing per window (the paper's 10 ms cadence), or
+    /// `None` to stream at full speed.
+    pub pace: Option<Duration>,
+    /// `true`: full queue drops windows (counted). `false`: the
+    /// producer blocks — lossless, required for replay determinism.
+    pub drop_when_full: bool,
+    /// Give up after this many worker restarts.
+    pub max_restarts: u32,
+    /// Exponential backoff (base ms, max ms) between restarts.
+    pub backoff_ms: (u64, u64),
+    /// `true`: really sleep the backoff delay (live mode). `false`:
+    /// account for it without sleeping (chaos replay).
+    pub sleep_on_backoff: bool,
+    /// Circuit breaker (window, trip threshold, cooldown ticks).
+    pub breaker: (usize, usize, u64),
+    /// Chaos: panic the worker when it reaches each of these cursors.
+    /// Single-shot — a cursor panics once, then replays cleanly.
+    pub panic_at: Vec<u64>,
+    /// Chaos: replace windows in `[start, end)` with all-NaN vectors
+    /// (a hostile fault-plan perturbation).
+    pub nan_burst: Option<(u64, u64)>,
+    /// Cooperative shutdown flag (SIGINT).
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Shared health state mirrored to `/readyz`.
+    pub health: Option<Arc<Health>>,
+    /// Record the per-cursor verdict sequence in the report (chaos
+    /// invariant checks). Requires a finite `windows_limit`.
+    pub capture_verdicts: bool,
+    /// Print alarm lines to stderr (live mode).
+    pub verbose: bool,
+}
+
+impl PipelineConfig {
+    /// Lossless, unpaced defaults suitable for tests and chaos runs.
+    pub fn lossless(windows_limit: u64) -> PipelineConfig {
+        PipelineConfig {
+            windows_limit,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            config_digest: 0,
+            queue_capacity: 32,
+            pace: None,
+            drop_when_full: false,
+            max_restarts: 8,
+            backoff_ms: (50, 800),
+            sleep_on_backoff: false,
+            breaker: (16, 8, 32),
+            panic_at: Vec::new(),
+            nan_burst: None,
+            stop: None,
+            health: None,
+            capture_verdicts: true,
+            verbose: false,
+        }
+    }
+}
+
+/// What a pipeline run did — counters for the exposition and the
+/// invariants the chaos harness asserts on.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Highest cursor processed, plus one (timeline progress).
+    pub observed: u64,
+    /// Total windows fed to the worker, including post-restart replay.
+    pub processed: u64,
+    /// Worker restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Circuit-breaker trips.
+    pub trips: u64,
+    /// Windows dropped by producer backpressure.
+    pub dropped: u64,
+    /// Windows skipped (not classified) while the breaker was open.
+    pub degraded: u64,
+    /// Checkpoint loads refused (corrupt/mismatched) during recovery.
+    pub refusals: u64,
+    /// Largest replay gap (windows between the restored cursor and the
+    /// crash point) across all restarts.
+    pub max_missed_gap: u64,
+    /// `true` when the run ended on the `stop` flag.
+    pub interrupted: bool,
+    /// Per-cursor verdicts when `capture_verdicts` was set (index =
+    /// cursor; `None` = never processed, e.g. dropped).
+    pub verdicts: Vec<Option<OnlineVerdict>>,
+}
+
+/// What one worker incarnation reported back.
+struct WorkerExit {
+    monitor: OnlineDetector,
+    cursor: u64,
+    interrupted: bool,
+}
+
+/// Everything mutable the worker shares with the supervisor across
+/// `catch_unwind` boundaries.
+struct Shared {
+    breaker: CircuitBreaker,
+    panic_at: BTreeSet<u64>,
+    verdicts: Vec<Option<OnlineVerdict>>,
+    processed: u64,
+    highest: u64,
+    degraded: u64,
+}
+
+/// Run the supervised pipeline to completion (or interruption).
+///
+/// `pristine` is the freshly trained monitor: the state used when no
+/// checkpoint exists or the checkpoint is refused.
+///
+/// # Errors
+///
+/// Returns an error when the timeline cannot be built or the
+/// supervisor exhausts `max_restarts`.
+pub fn run_pipeline(
+    pristine: &OnlineDetector,
+    sampler_config: &SamplerConfig,
+    cfg: &PipelineConfig,
+) -> Result<PipelineReport, CoreError> {
+    let mut backoff = Backoff::new(cfg.backoff_ms.0, cfg.backoff_ms.1);
+    let mut restarts = 0u64;
+    let mut refusals = 0u64;
+    let mut max_missed_gap = 0u64;
+    let dropped = Arc::new(AtomicU64::new(0));
+
+    let capture_len = if cfg.capture_verdicts {
+        usize::try_from(cfg.windows_limit).unwrap_or(0)
+    } else {
+        0
+    };
+    let mut shared = Shared {
+        breaker: CircuitBreaker::new(cfg.breaker.0, cfg.breaker.1, cfg.breaker.2),
+        panic_at: cfg.panic_at.iter().copied().collect(),
+        verdicts: vec![None; capture_len],
+        processed: 0,
+        highest: 0,
+        degraded: 0,
+    };
+
+    // Resume from a previous run's checkpoint when one is present and
+    // acceptable; otherwise start pristine at cursor zero.
+    let (mut monitor, mut cursor) = match initial_state(cfg) {
+        InitialState::Resumed(m, c) => (*m, c),
+        InitialState::Pristine => (pristine.clone(), 0),
+        InitialState::Refused => {
+            refusals += 1;
+            hbmd_obs::incr("snapshot.refused");
+            (pristine.clone(), 0)
+        }
+    };
+
+    set_health(cfg, ServiceState::Ready);
+    let interrupted = loop {
+        // One producer incarnation per worker incarnation, starting at
+        // the worker's resume cursor.
+        let timeline = Timeline::new(sampler_config).map_err(CoreError::from)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let producer = spawn_producer(
+            timeline,
+            tx,
+            cursor,
+            cfg.windows_limit,
+            cfg.pace,
+            cfg.drop_when_full,
+            Arc::clone(&dropped),
+            cfg.stop.clone(),
+        );
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(monitor.clone(), cursor, rx, cfg, &mut shared)
+        }));
+        // The worker's receiver is gone either way; the producer sees
+        // the closed channel (or the stop flag) and exits.
+        let _ = producer.join();
+
+        match outcome {
+            Ok(exit) => {
+                monitor = exit.monitor;
+                cursor = exit.cursor;
+                break exit.interrupted;
+            }
+            Err(_) => {
+                let crash_point = shared.highest.saturating_add(1);
+                set_health(cfg, ServiceState::Restarting);
+                if let Some(health) = &cfg.health {
+                    health.record_restart();
+                }
+                hbmd_obs::incr("supervisor.restarts");
+                restarts += 1;
+                if restarts > u64::from(cfg.max_restarts) {
+                    return Err(CoreError::Config(format!(
+                        "supervisor gave up after {restarts} restarts"
+                    )));
+                }
+                let delay = backoff.next_delay_ms();
+                if cfg.sleep_on_backoff {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                match recover_state(cfg) {
+                    RecoveredState::Restored(m, c) => {
+                        monitor = *m;
+                        cursor = c;
+                    }
+                    RecoveredState::Refused(reason) => {
+                        refusals += 1;
+                        hbmd_obs::incr("snapshot.refused");
+                        eprintln!("supervisor: checkpoint refused ({reason}); retraining state");
+                        monitor = pristine.clone();
+                        cursor = 0;
+                    }
+                    RecoveredState::None => {
+                        monitor = pristine.clone();
+                        cursor = 0;
+                    }
+                }
+                max_missed_gap = max_missed_gap.max(crash_point.saturating_sub(cursor));
+                set_health(cfg, ServiceState::Ready);
+            }
+        }
+    };
+
+    // The producer may notice the stop flag first and just close the
+    // channel; either way the run counts as interrupted.
+    let interrupted = interrupted
+        || cfg
+            .stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst));
+
+    // Flush a final checkpoint so the next start resumes instead of
+    // retraining — the graceful-shutdown contract.
+    if cfg.checkpoint_every > 0 {
+        save_checkpoint(&monitor, cursor, cfg);
+    }
+    set_health(cfg, ServiceState::Starting);
+
+    let dropped = dropped.load(Ordering::SeqCst);
+    if dropped > 0 {
+        hbmd_obs::add("pipeline.dropped_windows", dropped);
+    }
+    Ok(PipelineReport {
+        observed: if shared.processed > 0 {
+            shared.highest.saturating_add(1)
+        } else {
+            cursor
+        },
+        processed: shared.processed,
+        restarts,
+        trips: shared.breaker.trips(),
+        dropped,
+        degraded: shared.degraded,
+        refusals,
+        max_missed_gap,
+        interrupted,
+        verdicts: std::mem::take(&mut shared.verdicts),
+    })
+}
+
+enum InitialState {
+    Resumed(Box<OnlineDetector>, u64),
+    Pristine,
+    Refused,
+}
+
+fn initial_state(cfg: &PipelineConfig) -> InitialState {
+    let Some(path) = &cfg.checkpoint_path else {
+        return InitialState::Pristine;
+    };
+    if !path.exists() {
+        return InitialState::Pristine;
+    }
+    match snapshot::load(path, cfg.config_digest) {
+        Ok(snap) => InitialState::Resumed(Box::new(snap.monitor), snap.cursor),
+        Err(refusal) => {
+            eprintln!("supervisor: existing checkpoint refused ({refusal}); starting pristine");
+            InitialState::Refused
+        }
+    }
+}
+
+enum RecoveredState {
+    Restored(Box<OnlineDetector>, u64),
+    Refused(String),
+    None,
+}
+
+fn recover_state(cfg: &PipelineConfig) -> RecoveredState {
+    let Some(path) = &cfg.checkpoint_path else {
+        return RecoveredState::None;
+    };
+    if !path.exists() {
+        return RecoveredState::None;
+    }
+    match snapshot::load(path, cfg.config_digest) {
+        Ok(snap) => RecoveredState::Restored(Box::new(snap.monitor), snap.cursor),
+        Err(refusal) => RecoveredState::Refused(refusal.to_string()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_producer(
+    mut timeline: Timeline,
+    tx: SyncSender<(u64, FeatureVector)>,
+    start: u64,
+    limit: u64,
+    pace: Option<Duration>,
+    drop_when_full: bool,
+    dropped: Arc<AtomicU64>,
+    stop: Option<Arc<AtomicBool>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("hbmd-timeline".to_owned())
+        .spawn(move || {
+            let mut cursor = start;
+            while limit == 0 || cursor < limit {
+                if stop
+                    .as_ref()
+                    .is_some_and(|flag| flag.load(Ordering::SeqCst))
+                {
+                    break;
+                }
+                let window = timeline.window(cursor);
+                if drop_when_full {
+                    match tx.try_send((cursor, window)) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => {
+                            // Explicit backpressure: the worker is
+                            // behind, shed this window and move on.
+                            dropped.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                } else if tx.send((cursor, window)).is_err() {
+                    break;
+                }
+                cursor += 1;
+                if let Some(pace) = pace {
+                    std::thread::sleep(pace);
+                }
+            }
+        })
+        .expect("spawn timeline producer")
+}
+
+fn worker_loop(
+    mut monitor: OnlineDetector,
+    start: u64,
+    rx: Receiver<(u64, FeatureVector)>,
+    cfg: &PipelineConfig,
+    shared: &mut Shared,
+) -> WorkerExit {
+    let mut cursor_next = start;
+    let mut interrupted = false;
+    while let Ok((cursor, window)) = rx.recv() {
+        if cfg
+            .stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+        {
+            cursor_next = cursor;
+            interrupted = true;
+            break;
+        }
+        // Injected fault: panic exactly once per scheduled cursor, so
+        // the post-restart replay of the same cursor runs clean.
+        if shared.panic_at.remove(&cursor) {
+            panic!("chaos: injected worker panic at window {cursor}");
+        }
+        let window = match cfg.nan_burst {
+            Some((from, to)) if cursor >= from && cursor < to => {
+                FeatureVector::from_slice(&[f64::NAN; HpcEvent::COUNT])
+                    .expect("full-width NaN vector")
+            }
+            _ => window,
+        };
+
+        if shared.breaker.state() == BreakerState::Open {
+            // Degraded: don't feed the vote ring, just burn a cooldown
+            // tick and account for the skipped window.
+            shared.degraded += 1;
+            let before = shared.breaker.state();
+            let after = shared.breaker.record(false);
+            if before == BreakerState::Open && after == BreakerState::HalfOpen {
+                set_health(cfg, ServiceState::Ready);
+            }
+        } else {
+            let verdict = monitor.observe(&window);
+            let faulted = monitor.last_window_abstained();
+            let before = shared.breaker.state();
+            let after = shared.breaker.record(faulted);
+            if after == BreakerState::Open && before != BreakerState::Open {
+                if let Some(health) = &cfg.health {
+                    health.record_trip();
+                }
+                hbmd_obs::incr("breaker.trips");
+                set_health(cfg, ServiceState::Degraded);
+            }
+            if let Some(slot) = shared
+                .verdicts
+                .get_mut(usize::try_from(cursor).unwrap_or(usize::MAX))
+            {
+                *slot = Some(verdict);
+            }
+            if cfg.verbose {
+                if let OnlineVerdict::Alarm { family, votes, of } = verdict {
+                    if cursor.is_multiple_of(16) {
+                        eprintln!(
+                            "serve: ALARM ({family}, {votes}/{of} windows) at window {cursor}"
+                        );
+                    }
+                }
+            }
+        }
+
+        shared.processed += 1;
+        shared.highest = shared.highest.max(cursor);
+        cursor_next = cursor + 1;
+        if cfg.checkpoint_every > 0 && cursor_next.is_multiple_of(cfg.checkpoint_every) {
+            save_checkpoint(&monitor, cursor_next, cfg);
+        }
+    }
+    WorkerExit {
+        monitor,
+        cursor: cursor_next,
+        interrupted,
+    }
+}
+
+fn save_checkpoint(monitor: &OnlineDetector, cursor: u64, cfg: &PipelineConfig) {
+    let Some(path) = &cfg.checkpoint_path else {
+        return;
+    };
+    let snap = MonitorSnapshot::new(monitor.clone(), cursor, cfg.config_digest);
+    match snapshot::save(&snap, path) {
+        Ok(()) => hbmd_obs::incr("snapshot.saved"),
+        Err(e) => {
+            // A failed checkpoint degrades recovery, not liveness.
+            hbmd_obs::incr("snapshot.save_failed");
+            eprintln!("supervisor: checkpoint write failed: {e}");
+        }
+    }
+}
+
+fn set_health(cfg: &PipelineConfig, state: ServiceState) {
+    if let Some(health) = &cfg.health {
+        health.set_state(state);
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration tests for the supervised pipeline: panic recovery must
+//! be invisible in the verdict stream, checkpoints must resume instead
+//! of replaying from scratch, and a NaN burst must degrade — not kill —
+//! the monitor.
+
+use std::path::PathBuf;
+
+use hbmd_bench::resilience::{run_pipeline, PipelineConfig};
+use hbmd_core::{ClassifierKind, DetectorBuilder, FeatureSet, OnlineDetector};
+use hbmd_events::{FeatureVector, HpcEvent};
+use hbmd_malware::{AppClass, SampleId};
+use hbmd_perf::{DataRow, HpcDataset, SamplerConfig};
+
+fn features(level: f64) -> FeatureVector {
+    FeatureVector::from_slice(&[level; HpcEvent::COUNT]).expect("full-width vector")
+}
+
+/// A monitor trained on a perfectly separable synthetic dataset, so
+/// tests spend no time on collection.
+fn monitor() -> OnlineDetector {
+    let mut rows = Vec::new();
+    for i in 0..40 {
+        let class = AppClass::ALL[i % AppClass::COUNT];
+        let level = if class == AppClass::Benign {
+            1.0
+        } else {
+            100.0
+        };
+        rows.push(DataRow {
+            sample: SampleId(i as u32),
+            class,
+            features: features(level),
+        });
+    }
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::J48)
+        .feature_set(FeatureSet::Top(8))
+        .train_binary(&HpcDataset::from_rows(rows))
+        .expect("train on separable data");
+    OnlineDetector::builder(detector)
+        .window(4)
+        .threshold(3)
+        .build()
+        .expect("valid monitor config")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hbmd-resilience-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn panic_recovery_is_invisible_in_the_verdict_stream() {
+    let monitor = monitor();
+    let sampler = SamplerConfig::fast();
+    // The toy-trained sanitizer abstains on plenty of real sampled
+    // windows; park the breaker out of reach (the trip threshold
+    // clamps to the ring size, so the ring must outsize the run) so
+    // every window gets a recorded verdict and the comparison covers
+    // the full stream.
+    let no_breaker = PipelineConfig {
+        breaker: (97, usize::MAX, 32),
+        ..PipelineConfig::lossless(96)
+    };
+    let baseline = run_pipeline(&monitor, &sampler, &no_breaker).expect("baseline run");
+    assert_eq!(baseline.restarts, 0);
+    assert!(baseline.verdicts.iter().all(Option::is_some));
+
+    let checkpoint = scratch("panic.snap");
+    let _ = std::fs::remove_file(&checkpoint);
+    let faulted = run_pipeline(
+        &monitor,
+        &sampler,
+        &PipelineConfig {
+            checkpoint_every: 16,
+            checkpoint_path: Some(checkpoint.clone()),
+            config_digest: 0xBEEF,
+            panic_at: vec![40, 70],
+            ..no_breaker.clone()
+        },
+    )
+    .expect("faulted run");
+    assert_eq!(faulted.restarts, 2, "one restart per injected panic");
+    assert_eq!(
+        faulted.verdicts, baseline.verdicts,
+        "post-restore verdicts must match the unfaulted run exactly"
+    );
+    assert!(
+        faulted.max_missed_gap <= 16 + 32,
+        "replay gap {} exceeds checkpoint spacing + queue depth",
+        faulted.max_missed_gap
+    );
+    assert!(
+        checkpoint.exists(),
+        "clean shutdown must flush a checkpoint"
+    );
+    let _ = std::fs::remove_file(&checkpoint);
+}
+
+#[test]
+fn checkpoint_resume_processes_only_new_windows() {
+    let monitor = monitor();
+    let sampler = SamplerConfig::fast();
+    let checkpoint = scratch("resume.snap");
+    let _ = std::fs::remove_file(&checkpoint);
+    let first = run_pipeline(
+        &monitor,
+        &sampler,
+        &PipelineConfig {
+            checkpoint_every: 16,
+            checkpoint_path: Some(checkpoint.clone()),
+            config_digest: 0xBEEF,
+            ..PipelineConfig::lossless(64)
+        },
+    )
+    .expect("first run");
+    assert_eq!(first.observed, 64);
+    assert_eq!(first.processed, 64);
+
+    let second = run_pipeline(
+        &monitor,
+        &sampler,
+        &PipelineConfig {
+            checkpoint_every: 16,
+            checkpoint_path: Some(checkpoint.clone()),
+            config_digest: 0xBEEF,
+            ..PipelineConfig::lossless(96)
+        },
+    )
+    .expect("resumed run");
+    assert_eq!(second.observed, 96);
+    assert_eq!(
+        second.processed, 32,
+        "a resumed run must pick up at the checkpoint cursor, not window 0"
+    );
+    let _ = std::fs::remove_file(&checkpoint);
+}
+
+#[test]
+fn mismatched_digest_forces_a_pristine_start() {
+    let monitor = monitor();
+    let sampler = SamplerConfig::fast();
+    let checkpoint = scratch("digest.snap");
+    let _ = std::fs::remove_file(&checkpoint);
+    run_pipeline(
+        &monitor,
+        &sampler,
+        &PipelineConfig {
+            checkpoint_every: 16,
+            checkpoint_path: Some(checkpoint.clone()),
+            config_digest: 0xBEEF,
+            ..PipelineConfig::lossless(64)
+        },
+    )
+    .expect("first run");
+
+    // Same snapshot, different run configuration: the checkpoint must
+    // be refused and the run restarted from scratch, not resumed into
+    // a detector trained under different assumptions.
+    let other = run_pipeline(
+        &monitor,
+        &sampler,
+        &PipelineConfig {
+            checkpoint_every: 16,
+            checkpoint_path: Some(checkpoint.clone()),
+            config_digest: 0xF00D,
+            ..PipelineConfig::lossless(64)
+        },
+    )
+    .expect("mismatched run");
+    assert_eq!(other.refusals, 1, "config-digest mismatch must be refused");
+    assert_eq!(other.processed, 64, "refusal falls back to a full run");
+    let _ = std::fs::remove_file(&checkpoint);
+}
+
+#[test]
+fn nan_burst_degrades_and_recovers() {
+    let monitor = monitor();
+    let sampler = SamplerConfig::fast();
+    let report = run_pipeline(
+        &monitor,
+        &sampler,
+        &PipelineConfig {
+            nan_burst: Some((32, 96)),
+            ..PipelineConfig::lossless(160)
+        },
+    )
+    .expect("stormy run");
+    assert!(
+        report.trips >= 1,
+        "a sustained NaN burst must trip the breaker"
+    );
+    assert!(report.degraded > 0, "an open breaker must skip windows");
+    assert_eq!(report.restarts, 0, "degradation is not a crash");
+    assert!(
+        report.verdicts.last().expect("capture enabled").is_some(),
+        "classification must resume after the burst clears"
+    );
+}

@@ -279,6 +279,69 @@ impl Detector {
     }
 }
 
+use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for DetectorMode {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            DetectorMode::Binary => 0,
+            DetectorMode::Multiclass => 1,
+        });
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(DetectorMode::Binary),
+            1 => Ok(DetectorMode::Multiclass),
+            other => Err(SnapError::Invalid(format!("DetectorMode tag {other}"))),
+        }
+    }
+}
+
+impl Snap for Verdict {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Verdict::Benign => w.put_u8(0),
+            Verdict::Malware(family) => {
+                w.put_u8(1);
+                w.put_u8(family.index() as u8);
+            }
+            Verdict::Abstain => w.put_u8(2),
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Verdict::Benign),
+            1 => {
+                let index = usize::from(r.get_u8()?);
+                let family = AppClass::from_index(index)
+                    .ok_or_else(|| SnapError::Invalid(format!("AppClass index {index}")))?;
+                Ok(Verdict::Malware(family))
+            }
+            2 => Ok(Verdict::Abstain),
+            other => Err(SnapError::Invalid(format!("Verdict tag {other}"))),
+        }
+    }
+}
+
+impl Snap for Detector {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.model.snap(w);
+        self.mode.snap(w);
+        self.feature_indices.snap(w);
+        self.evaluation.snap(w);
+        self.sanitizer.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Detector {
+            model: Snap::unsnap(r)?,
+            mode: Snap::unsnap(r)?,
+            feature_indices: Snap::unsnap(r)?,
+            evaluation: Snap::unsnap(r)?,
+            sanitizer: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

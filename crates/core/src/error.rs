@@ -19,6 +19,9 @@ pub enum CoreError {
     Synthesis(DatapathError),
     /// A pipeline configuration value is unusable.
     Config(String),
+    /// A monitor snapshot could not be written, or was refused at
+    /// load time (corrupt, version-mismatched, config-mismatched).
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::Perf(e) => write!(f, "collection error: {e}"),
             CoreError::Synthesis(e) => write!(f, "synthesis error: {e}"),
             CoreError::Config(message) => write!(f, "invalid configuration: {message}"),
+            CoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -39,7 +43,14 @@ impl std::error::Error for CoreError {
             CoreError::Perf(e) => Some(e),
             CoreError::Synthesis(e) => Some(e),
             CoreError::Config(_) => None,
+            CoreError::Snapshot(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for CoreError {
+    fn from(e: crate::snapshot::SnapshotError) -> CoreError {
+        CoreError::Snapshot(e)
     }
 }
 

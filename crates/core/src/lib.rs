@@ -46,6 +46,8 @@
 //! ```
 
 pub mod experiments;
+pub mod snapshot;
+pub mod supervisor;
 
 mod convert;
 mod detector;
@@ -64,5 +66,7 @@ pub use features::{FeaturePlan, FeatureSet};
 pub use hbmd_ml::par;
 pub use online::{OnlineDetector, OnlineDetectorBuilder, OnlineVerdict};
 pub use sanitize::{SanitizeOutcome, Sanitizer};
+pub use snapshot::{MonitorSnapshot, SnapshotError};
 pub use suite::{ClassifierKind, TrainedModel};
+pub use supervisor::{Backoff, BreakerState, CircuitBreaker};
 pub use voting::VotingDetector;

@@ -226,6 +226,14 @@ impl OnlineDetector {
         self.history.iter().filter(|v| v.is_abstain()).count()
     }
 
+    /// `true` when the most recently observed window abstained —
+    /// the per-window fault signal supervision layers feed into a
+    /// circuit breaker (unlike [`abstentions`](Self::abstentions),
+    /// this does not saturate once the voting window fills up).
+    pub fn last_window_abstained(&self) -> bool {
+        self.history.back().is_some_and(|v| v.is_abstain())
+    }
+
     /// Feed one sampling window; returns the aggregated decision.
     pub fn observe(&mut self, window: &FeatureVector) -> OnlineVerdict {
         let _latency = hbmd_obs::timer("online.observe_ns");
@@ -337,6 +345,82 @@ impl OnlineDetector {
         self.alarm_streak = 0;
         self.clean_streak = 0;
         self.latched = None;
+    }
+}
+
+use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for OnlineDetector {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.detector.snap(w);
+        self.window.snap(w);
+        self.threshold.snap(w);
+        w.put_usize(self.history.len());
+        for verdict in &self.history {
+            verdict.snap(w);
+        }
+        self.raise_after.snap(w);
+        self.clear_after.snap(w);
+        self.alarm_streak.snap(w);
+        self.clean_streak.snap(w);
+        match &self.latched {
+            None => w.put_u8(0),
+            Some((family, votes)) => {
+                w.put_u8(1);
+                w.put_u8(family.index() as u8);
+                votes.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let detector = Detector::unsnap(r)?;
+        let window: usize = Snap::unsnap(r)?;
+        let threshold: usize = Snap::unsnap(r)?;
+        if window == 0 || threshold == 0 || threshold > window {
+            return Err(SnapError::Invalid(format!(
+                "online detector window/threshold {window}/{threshold}"
+            )));
+        }
+        let history_len = r.get_seq_len(1)?;
+        if history_len > window {
+            return Err(SnapError::Invalid(format!(
+                "history length {history_len} exceeds window {window}"
+            )));
+        }
+        let mut history = VecDeque::with_capacity(window);
+        for _ in 0..history_len {
+            history.push_back(Verdict::unsnap(r)?);
+        }
+        let raise_after: usize = Snap::unsnap(r)?;
+        let clear_after: usize = Snap::unsnap(r)?;
+        if raise_after == 0 || clear_after == 0 {
+            return Err(SnapError::Invalid(
+                "hysteresis thresholds must be non-zero".to_owned(),
+            ));
+        }
+        let alarm_streak: usize = Snap::unsnap(r)?;
+        let clean_streak: usize = Snap::unsnap(r)?;
+        let latched = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let index = usize::from(r.get_u8()?);
+                let family = AppClass::from_index(index)
+                    .ok_or_else(|| SnapError::Invalid(format!("AppClass index {index}")))?;
+                Some((family, Snap::unsnap(r)?))
+            }
+            other => return Err(SnapError::Invalid(format!("latch tag {other}"))),
+        };
+        Ok(OnlineDetector {
+            detector,
+            window,
+            threshold,
+            history,
+            raise_after,
+            clear_after,
+            alarm_streak,
+            clean_streak,
+            latched,
+        })
     }
 }
 

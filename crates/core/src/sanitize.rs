@@ -178,6 +178,32 @@ impl Sanitizer {
     }
 }
 
+use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Sanitizer {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.medians.snap(w);
+        self.ceilings.snap(w);
+        self.max_repair.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let medians: Vec<f64> = Snap::unsnap(r)?;
+        let ceilings: Vec<f64> = Snap::unsnap(r)?;
+        if medians.len() != ceilings.len() {
+            return Err(SnapError::Invalid(format!(
+                "sanitizer medians/ceilings length mismatch: {} vs {}",
+                medians.len(),
+                ceilings.len()
+            )));
+        }
+        Ok(Sanitizer {
+            medians,
+            ceilings,
+            max_repair: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

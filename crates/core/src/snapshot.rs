@@ -1,0 +1,463 @@
+//! Crash-safe checkpointing of a live online monitor.
+//!
+//! A snapshot freezes everything the serve pipeline needs to resume
+//! after a crash without retraining: the trained [`Detector`](crate::Detector) (model,
+//! feature projection, evaluation, sanitizer), the live
+//! [`OnlineDetector`] state (vote-window ring, hysteresis counters,
+//! latched alarm), and the timeline cursor (windows already observed).
+//!
+//! # File layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"HBMDSNAP"
+//! 8       4     format version (little-endian u32, currently 1)
+//! 12      8     config digest (little-endian u64, FNV-1a of the run config)
+//! 20      8     payload length (little-endian u64)
+//! 28      n     payload ([`Snap`]-encoded monitor + cursor)
+//! 28+n    8     FNV-1a 64 checksum of bytes [8 .. 28+n]
+//! ```
+//!
+//! The checksum covers the version, digest, length, and payload (not
+//! the magic), so any single-byte corruption after the magic is caught
+//! before a single payload byte is decoded; corrupting the magic is
+//! caught by the magic check itself. Writes go through a temporary
+//! file in the same directory followed by an atomic rename, so readers
+//! never observe a half-written snapshot — a crash mid-write leaves
+//! the previous snapshot intact.
+//!
+//! Loading refuses, with a typed [`SnapshotError`], anything that is
+//! corrupt, from a different format version, or recorded under a
+//! different run-config digest. Callers are expected to treat every
+//! refusal the same way: discard the snapshot and retrain.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hbmd_core::snapshot::{self, MonitorSnapshot};
+//!
+//! # fn demo(monitor: hbmd_core::OnlineDetector) -> Result<(), hbmd_core::CoreError> {
+//! let snap = MonitorSnapshot::new(monitor, 128, 0xDEAD_BEEF);
+//! snapshot::save(&snap, "monitor.snapshot".as_ref())?;
+//! match snapshot::load("monitor.snapshot".as_ref(), 0xDEAD_BEEF) {
+//!     Ok(snap) => println!("resuming at window {}", snap.cursor),
+//!     Err(refusal) => println!("retraining: {refusal}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
+use hbmd_obs::manifest::fnv1a_64;
+
+use crate::online::OnlineDetector;
+
+/// Current snapshot format version; bump on any wire-format change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File magic identifying an hbmd monitor snapshot.
+pub const MAGIC: &[u8; 8] = b"HBMDSNAP";
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+const CHECKSUM_LEN: usize = 8;
+
+/// Why a snapshot was refused (or could not be written).
+///
+/// Every variant except [`SnapshotError::Io`] on save means the same
+/// thing operationally: the snapshot is unusable, fall back to
+/// retraining.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Reading or writing the file failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The file is shorter than its header/payload length claims.
+    Truncated,
+    /// The FNV-1a checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum recomputed over the file contents.
+        actual: u64,
+    },
+    /// The snapshot was recorded under a different run configuration.
+    ConfigMismatch {
+        /// Digest recorded in the snapshot.
+        snapshot: u64,
+        /// Digest of the currently running configuration.
+        current: u64,
+    },
+    /// The checksummed payload failed structural decoding. (Reachable
+    /// only across code versions that share [`SNAPSHOT_VERSION`] but
+    /// disagree on the schema — the checksum catches corruption first.)
+    Decode(SnapError),
+    /// The payload decoded but left unconsumed bytes.
+    TrailingBytes {
+        /// Number of undecoded payload bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a monitor snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "snapshot format version {found} unsupported (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file truncated"),
+            SnapshotError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch (recorded {expected:#018x}, computed {actual:#018x})"
+                )
+            }
+            SnapshotError::ConfigMismatch { snapshot, current } => {
+                write!(
+                    f,
+                    "snapshot belongs to config {snapshot:#018x}, not running config {current:#018x}"
+                )
+            }
+            SnapshotError::Decode(e) => write!(f, "snapshot payload undecodable: {e}"),
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "snapshot payload has {extra} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Everything needed to resume a monitor exactly where it stopped.
+#[derive(Debug, Clone)]
+pub struct MonitorSnapshot {
+    /// The live monitor: trained detector plus vote/hysteresis state.
+    pub monitor: OnlineDetector,
+    /// Timeline windows already observed (the resume point).
+    pub cursor: u64,
+    /// FNV-1a digest of the run configuration the monitor was trained
+    /// under; [`load`] refuses snapshots whose digest differs.
+    pub config_digest: u64,
+}
+
+impl MonitorSnapshot {
+    /// Bundle a monitor with its resume cursor and config digest.
+    pub fn new(monitor: OnlineDetector, cursor: u64, config_digest: u64) -> MonitorSnapshot {
+        MonitorSnapshot {
+            monitor,
+            cursor,
+            config_digest,
+        }
+    }
+}
+
+/// Encode a snapshot to the full framed file image (header, payload,
+/// checksum).
+pub fn encode(snapshot: &MonitorSnapshot) -> Vec<u8> {
+    let mut payload = SnapWriter::new();
+    snapshot.monitor.snap(&mut payload);
+    payload.put_u64(snapshot.cursor);
+    let payload = payload.into_bytes();
+
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&snapshot.config_digest.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let checksum = fnv1a_64(&bytes[MAGIC.len()..]);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Decode a framed snapshot image, verifying magic, version, length,
+/// checksum, and config digest — in that order — before touching the
+/// payload.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] describing the first check that failed;
+/// the payload is never partially applied.
+pub fn decode(bytes: &[u8], expected_digest: u64) -> Result<MonitorSnapshot, SnapshotError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    let field = |offset: usize, len: usize| &bytes[offset..offset + len];
+    let version = u32::from_le_bytes(field(8, 4).try_into().expect("4 bytes"));
+    let config_digest = u64::from_le_bytes(field(12, 8).try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(field(20, 8).try_into().expect("8 bytes"));
+    let Ok(payload_len) = usize::try_from(payload_len) else {
+        return Err(SnapshotError::Truncated);
+    };
+    let expected_total = HEADER_LEN
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(CHECKSUM_LEN));
+    if expected_total != Some(bytes.len()) {
+        return Err(SnapshotError::Truncated);
+    }
+    let recorded = u64::from_le_bytes(
+        bytes[bytes.len() - CHECKSUM_LEN..]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let actual = fnv1a_64(&bytes[MAGIC.len()..bytes.len() - CHECKSUM_LEN]);
+    if recorded != actual {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: recorded,
+            actual,
+        });
+    }
+    // Only after the checksum proves integrity do version/digest
+    // mismatches mean what they say (rather than flipped bits).
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    if config_digest != expected_digest {
+        return Err(SnapshotError::ConfigMismatch {
+            snapshot: config_digest,
+            current: expected_digest,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+    let mut reader = SnapReader::new(payload);
+    let monitor = OnlineDetector::unsnap(&mut reader).map_err(SnapshotError::Decode)?;
+    let cursor = reader.get_u64().map_err(SnapshotError::Decode)?;
+    if !reader.is_done() {
+        return Err(SnapshotError::TrailingBytes {
+            extra: reader.remaining(),
+        });
+    }
+    Ok(MonitorSnapshot {
+        monitor,
+        cursor,
+        config_digest,
+    })
+}
+
+/// Write a snapshot crash-safely: encode to `<path>.tmp` in the same
+/// directory, fsync, then atomically rename over `path`.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] when the filesystem refuses; the
+/// previous snapshot at `path` (if any) is left untouched on failure.
+pub fn save(snapshot: &MonitorSnapshot, path: &Path) -> Result<(), SnapshotError> {
+    let bytes = encode(snapshot);
+    let tmp = tmp_path(path);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, &bytes)?;
+        file.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SnapshotError::Io(e));
+    }
+    Ok(())
+}
+
+/// Read and [`decode`] the snapshot at `path`.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] when the file is unreadable, corrupt,
+/// version-mismatched, or recorded under a different config digest.
+pub fn load(path: &Path, expected_digest: u64) -> Result<MonitorSnapshot, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes, expected_digest)
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorBuilder;
+    use crate::features::FeatureSet;
+    use crate::suite::ClassifierKind;
+    use hbmd_events::{FeatureVector, HpcEvent};
+    use hbmd_malware::{AppClass, SampleId};
+    use hbmd_perf::{DataRow, HpcDataset};
+
+    fn features(level: f64) -> FeatureVector {
+        FeatureVector::from_slice(&[level; HpcEvent::COUNT]).expect("full-width vector")
+    }
+
+    /// A tiny, perfectly separable dataset: benign rows sit at 1.0,
+    /// malware rows at 100.0 on every feature.
+    fn synthetic_dataset() -> HpcDataset {
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let class = AppClass::ALL[i % AppClass::COUNT];
+            let level = if class == AppClass::Benign {
+                1.0
+            } else {
+                100.0
+            };
+            rows.push(DataRow {
+                sample: SampleId(i as u32),
+                class,
+                features: features(level),
+            });
+        }
+        HpcDataset::from_rows(rows)
+    }
+
+    fn trained_monitor() -> OnlineDetector {
+        let dataset = synthetic_dataset();
+        let detector = DetectorBuilder::new()
+            .classifier(ClassifierKind::J48)
+            .feature_set(FeatureSet::Full16)
+            .train_binary(&dataset)
+            .expect("train on separable data");
+        OnlineDetector::builder(detector)
+            .window(5)
+            .threshold(3)
+            .hysteresis(2, 2)
+            .build()
+            .expect("valid monitor config")
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let snap = MonitorSnapshot::new(trained_monitor(), 42, 0xFEED);
+        let bytes = encode(&snap);
+        let back = decode(&bytes, 0xFEED).expect("decode own encoding");
+        assert_eq!(back.cursor, 42);
+        assert_eq!(back.config_digest, 0xFEED);
+        assert_eq!(encode(&back), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_refused() {
+        let snap = MonitorSnapshot::new(trained_monitor(), 7, 0xFEED);
+        let bytes = encode(&snap);
+        for i in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[i] ^= 0x01;
+            assert!(
+                decode(&evil, 0xFEED).is_err(),
+                "flipping byte {i} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_refused() {
+        let snap = MonitorSnapshot::new(trained_monitor(), 7, 0xFEED);
+        let bytes = encode(&snap);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut], 0xFEED).is_err(), "cut at {cut}");
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(matches!(
+            decode(&longer, 0xFEED),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn config_digest_mismatch_is_refused() {
+        let snap = MonitorSnapshot::new(trained_monitor(), 7, 0xFEED);
+        let bytes = encode(&snap);
+        assert!(matches!(
+            decode(&bytes, 0xBEEF),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let snap = MonitorSnapshot::new(trained_monitor(), 7, 0xFEED);
+        let mut bytes = encode(&snap);
+        // Rewrite the version field and re-stamp the checksum so only
+        // the version check can fire.
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let checksum_at = bytes.len() - CHECKSUM_LEN;
+        let checksum = fnv1a_64(&bytes[MAGIC.len()..checksum_at]);
+        bytes[checksum_at..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, 0xFEED),
+            Err(SnapshotError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_resumes_verdicts() {
+        let dir = std::env::temp_dir().join(format!("hbmd-snapshot-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("monitor.snapshot");
+
+        let mut original = trained_monitor();
+        let benign = features(1.0);
+        let malign = features(100.0);
+        for _ in 0..3 {
+            original.observe(&malign);
+        }
+        let snap = MonitorSnapshot::new(original.clone(), 3, 0x1234);
+        save(&snap, &path).expect("save");
+        assert!(
+            !tmp_path(&path).exists(),
+            "tmp file must not survive a successful save"
+        );
+
+        let mut restored = load(&path, 0x1234).expect("load").monitor;
+        // The restored monitor must continue the verdict stream exactly
+        // as the original would have.
+        for _ in 0..4 {
+            assert_eq!(restored.observe(&malign), original.observe(&malign));
+        }
+        for _ in 0..6 {
+            assert_eq!(restored.observe(&benign), original.observe(&benign));
+        }
+
+        // A corrupted file on disk is refused by load.
+        let mut on_disk = std::fs::read(&path).expect("read back");
+        let mid = on_disk.len() / 2;
+        on_disk[mid] ^= 0xFF;
+        std::fs::write(&path, &on_disk).expect("corrupt");
+        assert!(load(&path, 0x1234).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

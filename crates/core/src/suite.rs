@@ -257,6 +257,90 @@ impl Classifier for TrainedModel {
     }
 }
 
+use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for TrainedModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            TrainedModel::ZeroR(m) => {
+                w.put_u8(0);
+                m.snap(w);
+            }
+            TrainedModel::OneR(m) => {
+                w.put_u8(1);
+                m.snap(w);
+            }
+            TrainedModel::DecisionStump(m) => {
+                w.put_u8(2);
+                m.snap(w);
+            }
+            TrainedModel::JRip(m) => {
+                w.put_u8(3);
+                m.snap(w);
+            }
+            TrainedModel::J48(m) => {
+                w.put_u8(4);
+                m.snap(w);
+            }
+            TrainedModel::RepTree(m) => {
+                w.put_u8(5);
+                m.snap(w);
+            }
+            TrainedModel::NaiveBayes(m) => {
+                w.put_u8(6);
+                m.snap(w);
+            }
+            TrainedModel::Logistic(m) => {
+                w.put_u8(7);
+                m.snap(w);
+            }
+            TrainedModel::Mlp(m) => {
+                w.put_u8(8);
+                m.snap(w);
+            }
+            TrainedModel::Svm(m) => {
+                w.put_u8(9);
+                m.snap(w);
+            }
+            TrainedModel::Ibk(m) => {
+                w.put_u8(10);
+                m.snap(w);
+            }
+            TrainedModel::AdaBoost(m) => {
+                w.put_u8(11);
+                m.snap(w);
+            }
+            TrainedModel::Bagging(m) => {
+                w.put_u8(12);
+                m.snap(w);
+            }
+            TrainedModel::RandomForest(m) => {
+                w.put_u8(13);
+                m.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(TrainedModel::ZeroR(Snap::unsnap(r)?)),
+            1 => Ok(TrainedModel::OneR(Snap::unsnap(r)?)),
+            2 => Ok(TrainedModel::DecisionStump(Snap::unsnap(r)?)),
+            3 => Ok(TrainedModel::JRip(Snap::unsnap(r)?)),
+            4 => Ok(TrainedModel::J48(Snap::unsnap(r)?)),
+            5 => Ok(TrainedModel::RepTree(Snap::unsnap(r)?)),
+            6 => Ok(TrainedModel::NaiveBayes(Snap::unsnap(r)?)),
+            7 => Ok(TrainedModel::Logistic(Snap::unsnap(r)?)),
+            8 => Ok(TrainedModel::Mlp(Snap::unsnap(r)?)),
+            9 => Ok(TrainedModel::Svm(Snap::unsnap(r)?)),
+            10 => Ok(TrainedModel::Ibk(Snap::unsnap(r)?)),
+            11 => Ok(TrainedModel::AdaBoost(Snap::unsnap(r)?)),
+            12 => Ok(TrainedModel::Bagging(Snap::unsnap(r)?)),
+            13 => Ok(TrainedModel::RandomForest(Snap::unsnap(r)?)),
+            other => Err(SnapError::Invalid(format!("TrainedModel tag {other}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,187 @@
+//! Exact hysteresis boundaries of the online monitor.
+//!
+//! These tests pin down the alarm state machine at single-window
+//! resolution: an alarm raises on exactly the `raise_after`-th
+//! consecutive over-threshold vote, clears on exactly the
+//! `clear_after`-th consecutive clean vote, and a benign/malware
+//! square wave neither flaps nor drifts. A perfectly separable
+//! synthetic detector (benign at 1.0, malware at 100.0 on every
+//! feature) makes every per-window verdict deterministic, so the
+//! boundaries are exact rather than statistical.
+
+use hbmd_core::{ClassifierKind, DetectorBuilder, FeatureSet, OnlineDetector, OnlineVerdict};
+use hbmd_events::{FeatureVector, HpcEvent};
+use hbmd_malware::{AppClass, SampleId};
+use hbmd_perf::{DataRow, HpcDataset};
+
+fn features(level: f64) -> FeatureVector {
+    FeatureVector::from_slice(&[level; HpcEvent::COUNT]).expect("full-width vector")
+}
+
+fn benign() -> FeatureVector {
+    features(1.0)
+}
+
+fn malware() -> FeatureVector {
+    features(100.0)
+}
+
+fn monitor(window: usize, threshold: usize, raise: usize, clear: usize) -> OnlineDetector {
+    let mut rows = Vec::new();
+    for i in 0..40 {
+        let class = AppClass::ALL[i % AppClass::COUNT];
+        let level = if class == AppClass::Benign {
+            1.0
+        } else {
+            100.0
+        };
+        rows.push(DataRow {
+            sample: SampleId(i as u32),
+            class,
+            features: features(level),
+        });
+    }
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::J48)
+        .feature_set(FeatureSet::Full16)
+        .train_binary(&HpcDataset::from_rows(rows))
+        .expect("train on separable data");
+    OnlineDetector::builder(detector)
+        .window(window)
+        .threshold(threshold)
+        .hysteresis(raise, clear)
+        .build()
+        .expect("valid monitor config")
+}
+
+fn is_alarm(v: OnlineVerdict) -> bool {
+    matches!(v, OnlineVerdict::Alarm { .. })
+}
+
+#[test]
+fn alarm_raises_exactly_at_raise_after() {
+    // window 4, threshold 3, raise_after 3: the vote first crosses the
+    // threshold on the 3rd malware window; hysteresis then demands two
+    // more over-threshold votes before the alarm shows.
+    let mut online = monitor(4, 3, 3, 2);
+    for _ in 0..4 {
+        assert!(
+            !is_alarm(online.observe(&benign())),
+            "benign warmup must stay quiet"
+        );
+    }
+    // Malware windows 1 and 2: vote still under threshold — Clean.
+    assert_eq!(online.observe(&malware()), OnlineVerdict::Clean);
+    assert_eq!(online.observe(&malware()), OnlineVerdict::Clean);
+    // Windows 3 and 4: over threshold, but the raise streak (1, then
+    // 2) has not reached raise_after — still suppressed.
+    assert_eq!(online.observe(&malware()), OnlineVerdict::Clean);
+    assert_eq!(online.observe(&malware()), OnlineVerdict::Clean);
+    // Window 5: the 3rd consecutive over-threshold vote — raised.
+    assert!(
+        is_alarm(online.observe(&malware())),
+        "raise_after-th vote must raise"
+    );
+}
+
+#[test]
+fn alarm_clears_exactly_at_clear_after() {
+    let mut online = monitor(4, 3, 1, 2);
+    for _ in 0..4 {
+        online.observe(&benign());
+    }
+    for _ in 0..4 {
+        online.observe(&malware());
+    }
+    assert!(
+        is_alarm(online.decision()),
+        "saturated malware window must be latched"
+    );
+    // Benign window 1: history [m,m,m,b] still votes 3/4 — the raw
+    // decision is an alarm, so the clean streak has not even started.
+    assert!(is_alarm(online.observe(&benign())));
+    // Benign window 2: votes 2/4 — first clean vote, latch holds.
+    assert!(
+        is_alarm(online.observe(&benign())),
+        "one clean vote must not clear"
+    );
+    // Benign window 3: second consecutive clean vote — cleared.
+    assert_eq!(
+        online.observe(&benign()),
+        OnlineVerdict::Clean,
+        "clear_after-th clean vote must clear"
+    );
+}
+
+#[test]
+fn square_wave_latches_once_and_holds() {
+    // A 4-on/4-off square wave against window 4, threshold 3,
+    // raise 2, clear 6: each malware burst saturates the vote. The
+    // longest run of consecutive clean votes spans the gap's last
+    // three windows plus the next burst's first two (the vote only
+    // recrosses the threshold on its 3rd window) — 5 in a row, one
+    // short of clear_after. The alarm must latch on the first burst
+    // and then hold through every gap: exactly one raise, no flap.
+    let mut online = monitor(4, 3, 2, 6);
+    for _ in 0..4 {
+        online.observe(&benign());
+    }
+    let mut edges = 0u32;
+    let mut last = false;
+    for _cycle in 0..6 {
+        for _ in 0..4 {
+            let now = is_alarm(online.observe(&malware()));
+            if now != last {
+                edges += 1;
+                last = now;
+            }
+        }
+        for _ in 0..4 {
+            let now = is_alarm(online.observe(&benign()));
+            if now != last {
+                edges += 1;
+                last = now;
+            }
+        }
+    }
+    assert!(
+        is_alarm(online.decision()),
+        "the square wave must end latched"
+    );
+    assert_eq!(edges, 1, "one raise and no flapping, saw {edges} edges");
+}
+
+#[test]
+fn square_wave_with_fast_clear_tracks_every_burst() {
+    // With clear_after 1 the same square wave must instead track each
+    // burst: raise during every on-phase, clear during every off-phase
+    // — 2 edges per cycle, and always back to Clean by end of gap.
+    let mut online = monitor(4, 3, 1, 1);
+    for _ in 0..4 {
+        online.observe(&benign());
+    }
+    let mut edges = 0u32;
+    let mut last = false;
+    for cycle in 0..6 {
+        for _ in 0..4 {
+            let now = is_alarm(online.observe(&malware()));
+            if now != last {
+                edges += 1;
+                last = now;
+            }
+        }
+        for _ in 0..4 {
+            let now = is_alarm(online.observe(&benign()));
+            if now != last {
+                edges += 1;
+                last = now;
+            }
+        }
+        assert_eq!(
+            online.decision(),
+            OnlineVerdict::Clean,
+            "cycle {cycle} must end clean"
+        );
+    }
+    assert_eq!(edges, 12, "2 edges per cycle over 6 cycles, saw {edges}");
+}

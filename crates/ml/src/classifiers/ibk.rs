@@ -114,6 +114,42 @@ impl Classifier for Ibk {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Ibk {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.k.snap(w);
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let k: usize = Snap::unsnap(r)?;
+        if k == 0 {
+            return Err(SnapError::Invalid("Ibk k must be non-zero".to_owned()));
+        }
+        Ok(Ibk {
+            k,
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for IbkModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.standardize.snap(w);
+        self.rows.snap(w);
+        self.labels.snap(w);
+        self.num_classes.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(IbkModel {
+            standardize: Snap::unsnap(r)?,
+            rows: Snap::unsnap(r)?,
+            labels: Snap::unsnap(r)?,
+            num_classes: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

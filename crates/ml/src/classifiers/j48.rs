@@ -271,6 +271,73 @@ impl Classifier for J48 {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for J48 {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.min_leaf.snap(w);
+        self.confidence_z.snap(w);
+        self.max_depth.snap(w);
+        self.root.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(J48 {
+            min_leaf: Snap::unsnap(r)?,
+            confidence_z: Snap::unsnap(r)?,
+            max_depth: Snap::unsnap(r)?,
+            root: Snap::unsnap(r)?,
+        })
+    }
+}
+
+// Tree depth is bounded by `max_depth` at fit time, so the recursion
+// here cannot overflow on any payload the snapshot layer accepts (its
+// checksum rejects corrupted buffers before decoding starts).
+impl Snap for Node {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Node::Leaf {
+                class,
+                errors,
+                total,
+            } => {
+                w.put_u8(0);
+                class.snap(w);
+                errors.snap(w);
+                total.snap(w);
+            }
+            Node::Inner {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                w.put_u8(1);
+                feature.snap(w);
+                threshold.snap(w);
+                left.snap(w);
+                right.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Node::Leaf {
+                class: Snap::unsnap(r)?,
+                errors: Snap::unsnap(r)?,
+                total: Snap::unsnap(r)?,
+            }),
+            1 => Ok(Node::Inner {
+                feature: Snap::unsnap(r)?,
+                threshold: Snap::unsnap(r)?,
+                left: Snap::unsnap(r)?,
+                right: Snap::unsnap(r)?,
+            }),
+            other => Err(SnapError::Invalid(format!("J48 node tag {other}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

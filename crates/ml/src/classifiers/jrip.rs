@@ -332,6 +332,64 @@ impl Classifier for JRip {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Condition {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.feature.snap(w);
+        self.less_equal.snap(w);
+        self.threshold.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Condition {
+            feature: Snap::unsnap(r)?,
+            less_equal: Snap::unsnap(r)?,
+            threshold: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for Rule {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.conditions.snap(w);
+        self.class.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Rule {
+            conditions: Snap::unsnap(r)?,
+            class: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for JRip {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.seed.snap(w);
+        self.threshold_candidates.snap(w);
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JRip {
+            seed: Snap::unsnap(r)?,
+            threshold_candidates: Snap::unsnap(r)?,
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for JRipModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.rules.snap(w);
+        self.default_class.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JRipModel {
+            rules: Snap::unsnap(r)?,
+            default_class: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

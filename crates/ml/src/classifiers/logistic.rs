@@ -181,6 +181,38 @@ impl Classifier for Mlr {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Mlr {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.epochs.snap(w);
+        self.learning_rate.snap(w);
+        self.ridge.snap(w);
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Mlr {
+            epochs: Snap::unsnap(r)?,
+            learning_rate: Snap::unsnap(r)?,
+            ridge: Snap::unsnap(r)?,
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for MlrModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.standardize.snap(w);
+        self.weights.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MlrModel {
+            standardize: Snap::unsnap(r)?,
+            weights: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -250,6 +250,44 @@ impl Classifier for Mlp {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Mlp {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.hidden.snap(w);
+        self.epochs.snap(w);
+        self.learning_rate.snap(w);
+        self.momentum.snap(w);
+        self.seed.snap(w);
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Mlp {
+            hidden: Snap::unsnap(r)?,
+            epochs: Snap::unsnap(r)?,
+            learning_rate: Snap::unsnap(r)?,
+            momentum: Snap::unsnap(r)?,
+            seed: Snap::unsnap(r)?,
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for MlpModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.standardize.snap(w);
+        self.w1.snap(w);
+        self.w2.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MlpModel {
+            standardize: Snap::unsnap(r)?,
+            w1: Snap::unsnap(r)?,
+            w2: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -128,6 +128,32 @@ impl Classifier for NaiveBayes {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for NaiveBayes {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(NaiveBayes {
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for NbModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.log_priors.snap(w);
+        self.gaussians.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(NbModel {
+            log_priors: Snap::unsnap(r)?,
+            gaussians: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -197,6 +197,34 @@ impl Classifier for OneR {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for OneR {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.min_bucket.snap(w);
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(OneR {
+            min_bucket: Snap::unsnap(r)?,
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for OneRModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.feature.snap(w);
+        self.buckets.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(OneRModel {
+            feature: Snap::unsnap(r)?,
+            buckets: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

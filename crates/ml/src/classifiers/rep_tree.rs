@@ -236,6 +236,62 @@ impl Classifier for RepTree {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for RepTree {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.min_leaf.snap(w);
+        self.max_depth.snap(w);
+        self.seed.snap(w);
+        self.root.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RepTree {
+            min_leaf: Snap::unsnap(r)?,
+            max_depth: Snap::unsnap(r)?,
+            seed: Snap::unsnap(r)?,
+            root: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for Node {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Node::Leaf { class } => {
+                w.put_u8(0);
+                class.snap(w);
+            }
+            Node::Inner {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                w.put_u8(1);
+                feature.snap(w);
+                threshold.snap(w);
+                left.snap(w);
+                right.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Node::Leaf {
+                class: Snap::unsnap(r)?,
+            }),
+            1 => Ok(Node::Inner {
+                feature: Snap::unsnap(r)?,
+                threshold: Snap::unsnap(r)?,
+                left: Snap::unsnap(r)?,
+                right: Snap::unsnap(r)?,
+            }),
+            other => Err(SnapError::Invalid(format!("RepTree node tag {other}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -95,6 +95,36 @@ impl Classifier for DecisionStump {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for DecisionStump {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DecisionStump {
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for StumpModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.feature.snap(w);
+        self.threshold.snap(w);
+        self.left_class.snap(w);
+        self.right_class.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(StumpModel {
+            feature: Snap::unsnap(r)?,
+            threshold: Snap::unsnap(r)?,
+            left_class: Snap::unsnap(r)?,
+            right_class: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -190,6 +190,38 @@ impl Classifier for LinearSvm {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for LinearSvm {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.lambda.snap(w);
+        self.epochs.snap(w);
+        self.seed.snap(w);
+        self.model.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(LinearSvm {
+            lambda: Snap::unsnap(r)?,
+            epochs: Snap::unsnap(r)?,
+            seed: Snap::unsnap(r)?,
+            model: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for SvmModel {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.standardize.snap(w);
+        self.planes.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SvmModel {
+            standardize: Snap::unsnap(r)?,
+            planes: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

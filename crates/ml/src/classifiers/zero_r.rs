@@ -50,6 +50,19 @@ impl Classifier for ZeroR {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for ZeroR {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.majority.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ZeroR {
+            majority: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

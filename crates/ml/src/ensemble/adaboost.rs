@@ -166,6 +166,34 @@ impl<B: Classifier + Clone> Classifier for AdaBoostM1<B> {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl<B: Classifier + Clone + Snap> Snap for AdaBoostM1<B> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.prototype.snap(w);
+        self.iterations.snap(w);
+        self.seed.snap(w);
+        self.members.snap(w);
+        self.num_classes.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let prototype = B::unsnap(r)?;
+        let iterations: usize = Snap::unsnap(r)?;
+        if iterations == 0 {
+            return Err(SnapError::Invalid(
+                "AdaBoostM1 iterations must be non-zero".to_owned(),
+            ));
+        }
+        Ok(AdaBoostM1 {
+            prototype,
+            iterations,
+            seed: Snap::unsnap(r)?,
+            members: Snap::unsnap(r)?,
+            num_classes: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,6 +115,34 @@ impl<B: Classifier + Clone> Classifier for Bagging<B> {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl<B: Classifier + Clone + Snap> Snap for Bagging<B> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.prototype.snap(w);
+        self.members_target.snap(w);
+        self.seed.snap(w);
+        self.members.snap(w);
+        self.num_classes.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let prototype = B::unsnap(r)?;
+        let members_target: usize = Snap::unsnap(r)?;
+        if members_target == 0 {
+            return Err(SnapError::Invalid(
+                "Bagging members must be non-zero".to_owned(),
+            ));
+        }
+        Ok(Bagging {
+            prototype,
+            members_target,
+            seed: Snap::unsnap(r)?,
+            members: Snap::unsnap(r)?,
+            num_classes: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

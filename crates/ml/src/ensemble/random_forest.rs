@@ -211,6 +211,72 @@ impl Classifier for RandomForest {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for RandomForest {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.trees_target.snap(w);
+        self.min_leaf.snap(w);
+        self.max_depth.snap(w);
+        self.seed.snap(w);
+        self.trees.snap(w);
+        self.num_classes.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let trees_target: usize = Snap::unsnap(r)?;
+        if trees_target == 0 {
+            return Err(SnapError::Invalid(
+                "RandomForest trees must be non-zero".to_owned(),
+            ));
+        }
+        Ok(RandomForest {
+            trees_target,
+            min_leaf: Snap::unsnap(r)?,
+            max_depth: Snap::unsnap(r)?,
+            seed: Snap::unsnap(r)?,
+            trees: Snap::unsnap(r)?,
+            num_classes: Snap::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for Node {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Node::Leaf { class } => {
+                w.put_u8(0);
+                class.snap(w);
+            }
+            Node::Inner {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                w.put_u8(1);
+                feature.snap(w);
+                threshold.snap(w);
+                left.snap(w);
+                right.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Node::Leaf {
+                class: Snap::unsnap(r)?,
+            }),
+            1 => Ok(Node::Inner {
+                feature: Snap::unsnap(r)?,
+                threshold: Snap::unsnap(r)?,
+                left: Snap::unsnap(r)?,
+                right: Snap::unsnap(r)?,
+            }),
+            other => Err(SnapError::Invalid(format!("RandomForest node tag {other}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

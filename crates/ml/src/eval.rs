@@ -301,6 +301,40 @@ where
     })
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for ConfusionMatrix {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.class_names.snap(w);
+        self.counts.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let class_names: Vec<String> = Snap::unsnap(r)?;
+        let counts: Vec<Vec<usize>> = Snap::unsnap(r)?;
+        let n = class_names.len();
+        if counts.len() != n || counts.iter().any(|row| row.len() != n) {
+            return Err(SnapError::Invalid(format!("confusion matrix not {n}x{n}")));
+        }
+        Ok(ConfusionMatrix {
+            class_names,
+            counts,
+        })
+    }
+}
+
+impl Snap for Evaluation {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.scheme.snap(w);
+        self.confusion.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Evaluation {
+            scheme: Snap::unsnap(r)?,
+            confusion: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -218,6 +218,19 @@ pub(crate) fn median_in_place(values: &mut [f64]) -> f64 {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Standardize {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.stats.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Standardize {
+            stats: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

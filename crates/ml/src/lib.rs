@@ -55,6 +55,7 @@ mod linalg;
 pub mod par;
 mod pca;
 mod roc;
+pub mod snap;
 
 pub use classifier::{fit_timed, Classifier};
 pub use classifiers::ibk::Ibk;
@@ -75,3 +76,4 @@ pub use filter::{Impute, MinMaxNormalize, Standardize};
 pub use linalg::{covariance_matrix, jacobi_eigen, Matrix};
 pub use pca::{Pca, RankedAttribute};
 pub use roc::{RocCurve, RocPoint};
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};

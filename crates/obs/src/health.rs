@@ -1,0 +1,159 @@
+//! Supervisor-visible service health, shared between the pipeline and
+//! the exposition server.
+//!
+//! A [`Health`] is a lock-free bundle of the one state machine and two
+//! counters a supervised monitor needs to expose: where the supervisor
+//! currently is ([`ServiceState`]), how many times the worker has been
+//! restarted, and how many times the circuit breaker has tripped. The
+//! serve layer maps it onto `/readyz` (200 only while
+//! [`ServiceState::Ready`]); the pipeline mirrors the counters into
+//! the metrics [`Registry`](crate::metrics::Registry) so they reach
+//! the Prometheus exposition as `hbmd_supervisor_restarts_total` and
+//! `hbmd_breaker_trips_total`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbmd_obs::health::{Health, ServiceState};
+//!
+//! let health = Health::new();
+//! assert_eq!(health.state(), ServiceState::Starting);
+//! health.set_state(ServiceState::Ready);
+//! assert!(health.is_ready());
+//! health.record_restart();
+//! assert_eq!(health.restarts(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Where the supervised pipeline currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceState {
+    /// Booting: training or restoring the detector; not yet serving
+    /// verdicts.
+    Starting,
+    /// Healthy and classifying windows.
+    Ready,
+    /// Running but degraded: the circuit breaker is open and windows
+    /// are abstained instead of classified.
+    Degraded,
+    /// A worker fault is being recovered: restoring from checkpoint
+    /// under backoff.
+    Restarting,
+}
+
+impl ServiceState {
+    /// Lower-case name, as served on `/readyz` and logged.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceState::Starting => "starting",
+            ServiceState::Ready => "ready",
+            ServiceState::Degraded => "degraded",
+            ServiceState::Restarting => "restarting",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Shared, lock-free health state: one [`ServiceState`] plus restart
+/// and breaker-trip counters. Cheap enough to update from the hot
+/// path and safe to read from any scrape thread.
+#[derive(Debug, Default)]
+pub struct Health {
+    state: AtomicU8,
+    restarts: AtomicU64,
+    trips: AtomicU64,
+}
+
+const STATE_TAGS: [ServiceState; 4] = [
+    ServiceState::Starting,
+    ServiceState::Ready,
+    ServiceState::Degraded,
+    ServiceState::Restarting,
+];
+
+impl Health {
+    /// A fresh health record in [`ServiceState::Starting`] with zeroed
+    /// counters.
+    pub fn new() -> Health {
+        Health::default()
+    }
+
+    /// The current state.
+    pub fn state(&self) -> ServiceState {
+        STATE_TAGS[usize::from(self.state.load(Ordering::SeqCst)) % STATE_TAGS.len()]
+    }
+
+    /// Move to `state`.
+    pub fn set_state(&self, state: ServiceState) {
+        let tag = STATE_TAGS
+            .iter()
+            .position(|&s| s == state)
+            .expect("state is one of the four tags") as u8;
+        self.state.store(tag, Ordering::SeqCst);
+    }
+
+    /// `true` only in [`ServiceState::Ready`] — the `/readyz`
+    /// criterion.
+    pub fn is_ready(&self) -> bool {
+        self.state() == ServiceState::Ready
+    }
+
+    /// Count one worker restart.
+    pub fn record_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Worker restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Count one circuit-breaker trip.
+    pub fn record_trip(&self) {
+        self.trips.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Breaker trips so far.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_roundtrips_all_states() {
+        let health = Health::new();
+        for state in STATE_TAGS {
+            health.set_state(state);
+            assert_eq!(health.state(), state);
+            assert_eq!(health.is_ready(), state == ServiceState::Ready);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let health = Health::new();
+        health.record_restart();
+        health.record_restart();
+        health.record_trip();
+        assert_eq!(health.restarts(), 2);
+        assert_eq!(health.trips(), 1);
+    }
+
+    #[test]
+    fn names_match_the_readyz_contract() {
+        assert_eq!(ServiceState::Starting.to_string(), "starting");
+        assert_eq!(ServiceState::Ready.to_string(), "ready");
+        assert_eq!(ServiceState::Degraded.to_string(), "degraded");
+        assert_eq!(ServiceState::Restarting.to_string(), "restarting");
+    }
+}

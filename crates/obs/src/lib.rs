@@ -73,6 +73,7 @@
 //! # drop(guard);
 //! ```
 
+pub mod health;
 pub mod json;
 pub mod manifest;
 pub mod metrics;

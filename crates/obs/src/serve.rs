@@ -1,6 +1,8 @@
 //! A tiny, dependency-free HTTP exposition server for long-running
-//! monitors: `/metrics` (Prometheus text format 0.0.4), `/healthz`,
-//! and `/manifest` (the run's [`RunManifest`](crate::manifest) JSON).
+//! monitors: `/metrics` (Prometheus text format 0.0.4), `/healthz`
+//! (liveness), `/readyz` (readiness, from the supervisor's
+//! [`Health`]), and `/manifest` (the run's
+//! [`RunManifest`](crate::manifest) JSON).
 //!
 //! This is deliberately not a web framework: one `TcpListener`, one
 //! accept-loop thread, one short-lived thread per connection, HTTP/1.0
@@ -21,6 +23,7 @@
 //! let server = serve::serve("127.0.0.1:0", serve::ServeContext {
 //!     registry: registry.clone(),
 //!     manifest_json: "{}".to_owned(),
+//!     health: None,
 //! })?;
 //!
 //! let mut stream = std::net::TcpStream::connect(server.local_addr())?;
@@ -40,6 +43,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::health::Health;
 use crate::metrics::Registry;
 use crate::prom;
 
@@ -51,6 +55,10 @@ pub struct ServeContext {
     pub registry: Arc<Registry>,
     /// Served verbatim at `/manifest` (must be a JSON document).
     pub manifest_json: String,
+    /// Supervisor health backing `/readyz`. With `None`, `/readyz`
+    /// mirrors `/healthz` (an unsupervised exposition is ready as soon
+    /// as it binds).
+    pub health: Option<Arc<Health>>,
 }
 
 impl std::fmt::Debug for ServeContext {
@@ -146,7 +154,20 @@ const MAX_REQUEST: usize = 16 * 1024;
 fn handle_connection(mut stream: TcpStream, context: &ServeContext) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let request = read_request_head(&mut stream)?;
+    let request = match read_request_head(&mut stream)? {
+        RequestHead::Complete(request) => request,
+        RequestHead::TooLarge => {
+            // Refuse to buffer an unbounded header block; answer with
+            // 431 and drop the connection without reading further.
+            return write_response(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain; charset=utf-8",
+                "request header too large\n",
+                false,
+            );
+        }
+    };
     let (status, content_type, body) = route(&request, context);
     let head_only = request.method == "HEAD";
     write_response(&mut stream, status, content_type, &body, head_only)
@@ -157,7 +178,13 @@ struct Request {
     path: String,
 }
 
-fn read_request_head(stream: &mut TcpStream) -> io::Result<Request> {
+enum RequestHead {
+    Complete(Request),
+    /// The header block exceeded [`MAX_REQUEST`] before terminating.
+    TooLarge,
+}
+
+fn read_request_head(stream: &mut TcpStream) -> io::Result<RequestHead> {
     let mut buffer = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -170,7 +197,7 @@ fn read_request_head(stream: &mut TcpStream) -> io::Result<Request> {
             break;
         }
         if buffer.len() > MAX_REQUEST {
-            break;
+            return Ok(RequestHead::TooLarge);
         }
     }
     let text = String::from_utf8_lossy(&buffer);
@@ -180,7 +207,7 @@ fn read_request_head(stream: &mut TcpStream) -> io::Result<Request> {
     let target = parts.next().unwrap_or_default();
     // Strip any query string; scrape endpoints take no parameters.
     let path = target.split('?').next().unwrap_or_default().to_owned();
-    Ok(Request { method, path })
+    Ok(RequestHead::Complete(Request { method, path }))
 }
 
 fn route(request: &Request, context: &ServeContext) -> (&'static str, &'static str, String) {
@@ -198,6 +225,24 @@ fn route(request: &Request, context: &ServeContext) -> (&'static str, &'static s
             prom::render(&context.registry.snapshot()),
         ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        "/readyz" => match &context.health {
+            // Unsupervised expositions are ready by construction.
+            None => ("200 OK", "text/plain; charset=utf-8", "ready\n".to_owned()),
+            Some(health) => {
+                let state = health.state();
+                let body = format!(
+                    "{}\nrestarts {}\ntrips {}\n",
+                    state,
+                    health.restarts(),
+                    health.trips()
+                );
+                if health.is_ready() {
+                    ("200 OK", "text/plain; charset=utf-8", body)
+                } else {
+                    ("503 Service Unavailable", "text/plain; charset=utf-8", body)
+                }
+            }
+        },
         "/manifest" => (
             "200 OK",
             "application/json; charset=utf-8",
@@ -206,7 +251,7 @@ fn route(request: &Request, context: &ServeContext) -> (&'static str, &'static s
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /healthz, /manifest\n".to_owned(),
+            "not found; try /metrics, /healthz, /readyz, /manifest\n".to_owned(),
         ),
     }
 }
@@ -250,6 +295,7 @@ mod tests {
             ServeContext {
                 registry,
                 manifest_json: "{\"tool\": \"test\"}".to_owned(),
+                health: None,
             },
         )
         .expect("bind ephemeral");
@@ -283,6 +329,7 @@ mod tests {
             ServeContext {
                 registry: Arc::new(Registry::new()),
                 manifest_json: "{}".to_owned(),
+                health: None,
             },
         )
         .expect("bind");
@@ -293,12 +340,92 @@ mod tests {
     }
 
     #[test]
+    fn readyz_reflects_supervisor_state() {
+        let health = Arc::new(crate::health::Health::new());
+        let server = serve(
+            "127.0.0.1:0",
+            ServeContext {
+                registry: Arc::new(Registry::new()),
+                manifest_json: "{}".to_owned(),
+                health: Some(Arc::clone(&health)),
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        // Starting → not ready.
+        let starting = get(addr, "GET /readyz HTTP/1.0\r\n\r\n");
+        assert!(starting.starts_with("HTTP/1.0 503"));
+        assert!(starting.contains("starting"));
+
+        health.set_state(crate::health::ServiceState::Ready);
+        health.record_restart();
+        let ready = get(addr, "GET /readyz HTTP/1.0\r\n\r\n");
+        assert!(ready.starts_with("HTTP/1.0 200"));
+        assert!(ready.contains("ready"));
+        assert!(ready.contains("restarts 1"));
+
+        health.set_state(crate::health::ServiceState::Degraded);
+        let degraded = get(addr, "GET /readyz HTTP/1.0\r\n\r\n");
+        assert!(degraded.starts_with("HTTP/1.0 503"));
+        assert!(degraded.contains("degraded"));
+
+        // Liveness stays 200 regardless of readiness.
+        let live = get(addr, "GET /healthz HTTP/1.0\r\n\r\n");
+        assert!(live.starts_with("HTTP/1.0 200"));
+    }
+
+    #[test]
+    fn readyz_without_health_mirrors_healthz() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServeContext {
+                registry: Arc::new(Registry::new()),
+                manifest_json: "{}".to_owned(),
+                health: None,
+            },
+        )
+        .expect("bind");
+        let response = get(server.local_addr(), "GET /readyz HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 200"));
+    }
+
+    #[test]
+    fn oversized_request_heads_get_431() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServeContext {
+                registry: Arc::new(Registry::new()),
+                manifest_json: "{}".to_owned(),
+                health: None,
+            },
+        )
+        .expect("bind");
+        // A header block that never terminates and exceeds the cap.
+        // The server may answer (and stop reading) mid-write, so write
+        // errors are expected and ignored.
+        let mut request = String::from("GET /metrics HTTP/1.0\r\n");
+        request.push_str(&"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaa\r\n".repeat(1024));
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let _ = stream.write_all(request.as_bytes());
+        let _ = stream.flush();
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(
+            response.starts_with("HTTP/1.0 431"),
+            "expected 431, got: {}",
+            response.lines().next().unwrap_or_default()
+        );
+    }
+
+    #[test]
     fn query_strings_are_ignored() {
         let server = serve(
             "127.0.0.1:0",
             ServeContext {
                 registry: Arc::new(Registry::new()),
                 manifest_json: "{}".to_owned(),
+                health: None,
             },
         )
         .expect("bind");
