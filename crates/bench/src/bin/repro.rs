@@ -41,10 +41,12 @@
 //! experiment mode and its byte-identical stdout are untouched):
 //!
 //! * `repro serve [--scale F|--fast|--paper] [--addr HOST:PORT]
-//!   [--windows N] [--threads N]` — train a J48 detector, stream a
-//!   synthetic workload through the online monitor, and expose
-//!   `/metrics` (Prometheus text format 0.0.4), `/healthz` and
-//!   `/manifest` over HTTP until killed (or after `--windows N`);
+//!   [--windows N] [--threads N] [--streams N] [--shards N]` — train
+//!   one shared J48 detector, then monitor a fleet of independent
+//!   synthetic streams (default 2,000) hash-sharded across supervised
+//!   worker shards, exposing `/metrics` (Prometheus text format
+//!   0.0.4), `/healthz`, per-shard `/readyz` and `/manifest` over HTTP
+//!   until killed (or after `--windows N` per stream);
 //! * `repro trace-report <trace.jsonl> [--collapsed PATH]` — span-tree
 //!   analysis of a `--trace-jsonl` log: per-name aggregates ranked by
 //!   self time, the critical path, and optional folded stacks for
@@ -61,7 +63,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hbmd_bench::{
-    config_at_scale, config_digest, diff, pct, resilience, BenchReport, PhaseTiming, TextTable,
+    config_at_scale, config_digest, diff, fleet, pct, resilience, BenchReport, PhaseTiming,
+    TextTable,
 };
 use hbmd_core::experiments::{
     self, binary, ensemble, hardware, latency, multiclass, pca, robustness, roc, ExperimentConfig,
@@ -69,12 +72,12 @@ use hbmd_core::experiments::{
 use hbmd_core::snapshot::{self, SnapshotError};
 use hbmd_core::{
     to_binary_dataset, ClassifierKind, CollectCache, DetectorBuilder, FeaturePlan, FeatureSet,
-    OnlineDetector,
+    OnlineDetector, StreamStanding, StreamState,
 };
 use hbmd_fpga::SynthConfig;
 use hbmd_malware::AppClass;
 use hbmd_ml::Evaluation;
-use hbmd_obs::health::Health;
+use hbmd_obs::health::FleetHealth;
 use hbmd_obs::manifest::RunManifest;
 use hbmd_obs::trace::Trace;
 use hbmd_obs::{serve, JsonlSink, Obs};
@@ -235,13 +238,17 @@ fn main() -> ExitCode {
         let span = hbmd_obs::span!("experiment", name = experiment.as_str());
         let result = run(experiment, &config, &cache);
         drop(span);
-        if let Err(e) = result {
-            eprintln!("{experiment}: {e}");
-            return ExitCode::FAILURE;
-        }
+        let windows_per_sec = match result {
+            Ok(rate) => rate,
+            Err(e) => {
+                eprintln!("{experiment}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         report.phases.push(PhaseTiming {
             name: experiment.clone(),
             wall_ms: phase_started.elapsed().as_millis(),
+            windows_per_sec,
         });
         println!();
     }
@@ -296,6 +303,7 @@ fn print_usage() {
         "usage: repro [--scale F | --paper | --fast] [--threads N] [--bench-json PATH]\n\
          \x20      [--trace-jsonl PATH] [--metrics-json PATH] <experiment>...\n\
          \x20      repro serve [--scale F | --fast] [--addr HOST:PORT] [--windows N]\n\
+         \x20                  [--streams N] [--shards N] [--panic-shard S]\n\
          \x20                  [--checkpoint PATH] [--checkpoint-every N]\n\
          \x20      repro chaos [--scale F] [--windows N] [--checkpoint-every N] [--dir PATH]\n\
          \x20      repro trace-report <trace.jsonl> [--collapsed PATH]\n\
@@ -303,7 +311,7 @@ fn print_usage() {
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
-         \x20            roc detect-latency robustness emit-hdl all"
+         \x20            roc detect-latency robustness fleet emit-hdl all"
     );
 }
 
@@ -383,13 +391,32 @@ fn train_monitor(
         .build()?)
 }
 
-/// `repro serve` — train a detector, then run the online monitor over a
-/// continuous synthetic workload while exposing `/metrics`, `/healthz`,
-/// `/readyz` and `/manifest` over HTTP. With `--windows N` the stream
-/// stops after N windows (integration tests, smoke runs); without it
-/// the monitor paces at the paper's 10 ms window cadence until killed.
-/// With `--checkpoint PATH` the monitor state is checkpointed and a
-/// restart resumes from the last good snapshot instead of retraining.
+/// Everything `repro serve` parses from its command line.
+struct ServeOptions {
+    scale: f64,
+    addr: String,
+    /// Windows *per stream*; 0 = run until killed.
+    windows_limit: u64,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: u64,
+    /// Monitored endpoint streams in the fleet.
+    streams: u64,
+    /// Worker shards the streams are hashed across.
+    shards: usize,
+    /// Chaos: shards given a single injected worker panic.
+    panic_shards: Vec<usize>,
+}
+
+/// `repro serve` — train one shared detector, then run a *fleet* of
+/// independently-voting monitored streams (default 2,000), hash-sharded
+/// across supervised worker shards, while exposing `/metrics`,
+/// `/healthz`, per-shard `/readyz` and `/manifest` over HTTP. With
+/// `--windows N` every stream stops after N windows (integration
+/// tests, smoke runs); without it the fleet paces at the paper's 10 ms
+/// window cadence and sheds load under backpressure until killed. With
+/// `--checkpoint PATH` all stream cursors are checkpointed into one
+/// multiplexed snapshot and a restart resumes from the last good
+/// sections instead of retraining.
 fn serve_mode(args: &[String]) -> ExitCode {
     let mut scale = 0.05f64;
     let mut addr = "127.0.0.1:9185".to_owned();
@@ -397,6 +424,9 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut checkpoint: Option<PathBuf> = None;
     let mut checkpoint_every = 64u64;
+    let mut streams = 2_000u64;
+    let mut shards = 8usize;
+    let mut panic_shards: Vec<usize> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -444,6 +474,27 @@ fn serve_mode(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--streams" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => streams = n,
+                _ => {
+                    eprintln!("--streams needs a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("--shards needs a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--panic-shard" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(s) => panic_shards.push(s),
+                _ => {
+                    eprintln!("--panic-shard needs a shard index");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("serve: unexpected argument `{other}`");
                 return ExitCode::FAILURE;
@@ -455,14 +506,17 @@ fn serve_mode(args: &[String]) -> ExitCode {
         config.threads = n;
         config.collector.threads = n;
     }
-    match run_monitor(
-        &config,
+    let options = ServeOptions {
         scale,
-        &addr,
+        addr,
         windows_limit,
         checkpoint,
         checkpoint_every,
-    ) {
+        streams,
+        shards,
+        panic_shards,
+    };
+    match run_monitor(&config, &options) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("serve: {e}");
@@ -473,32 +527,32 @@ fn serve_mode(args: &[String]) -> ExitCode {
 
 fn run_monitor(
     config: &ExperimentConfig,
-    scale: f64,
-    addr: &str,
-    windows_limit: u64,
-    checkpoint: Option<PathBuf>,
-    checkpoint_every: u64,
+    options: &ServeOptions,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    // Fresh context so the endpoint exports only this monitor's
-    // counters; the guard lives for the whole serve session.
+    // Fresh context so the endpoint exports only this fleet's counters;
+    // the guard lives for the whole serve session.
     let guard = hbmd_obs::install(Obs::new());
     install_sigint_handler();
-    let health = Arc::new(Health::new());
+    let fleet_health = Arc::new(FleetHealth::new(options.shards));
 
     let config_digest_u64 =
         u64::from_str_radix(&config_digest(config), 16).expect("digest is 16 hex digits");
-    // A good checkpoint for this exact configuration resumes the
-    // monitor without retraining; anything refused falls back to a
-    // fresh training run (and says why).
-    let resumed = match &checkpoint {
-        Some(path) if path.exists() => match snapshot::load(path, config_digest_u64) {
-            Ok(snap) => {
+    // A good multiplexed checkpoint for this exact configuration
+    // carries the trained detector, so a restart resumes the whole
+    // fleet without retraining; anything refused falls back to a fresh
+    // training run (and says why). Per-stream cursor restore happens
+    // inside the fleet pipeline from the same file.
+    let resumed = match &options.checkpoint {
+        Some(path) if path.exists() => match snapshot::load_fleet(path, config_digest_u64) {
+            Ok(restore) => {
+                let high_water = restore.streams.iter().map(|s| s.cursor).max().unwrap_or(0);
                 eprintln!(
-                    "serve: resumed from {} at window {} (training skipped)",
-                    path.display(),
-                    snap.cursor
-                );
-                Some(snap.monitor)
+                        "serve: resumed from {} at window {high_water} ({} stream sections, {} lost, training skipped)",
+                        path.display(),
+                        restore.streams.len(),
+                        restore.lost_sections,
+                    );
+                Some(Arc::new(restore.detector))
             }
             Err(e) => {
                 eprintln!("serve: checkpoint refused ({e}); retraining");
@@ -507,66 +561,92 @@ fn run_monitor(
         },
         _ => None,
     };
-    let monitor = match resumed {
-        Some(monitor) => monitor,
+    let (detector, template) = match resumed {
+        Some(detector) => (detector, StreamState::new(4, 3, 1, 1)?),
         None => {
             eprintln!(
-                "serve: training J48 detector at scale {scale} ({} samples)...",
+                "serve: training J48 detector at scale {} ({} samples)...",
+                options.scale,
                 config.catalog().len()
             );
-            train_monitor(config, "serve")?
+            train_monitor(config, "serve")?.into_parts()
         }
     };
 
-    let manifest = build_manifest(scale, config, &["serve".to_owned()]);
+    let manifest = build_manifest(options.scale, config, &["serve".to_owned()]);
     let server = serve::serve(
-        addr,
+        &options.addr,
         serve::ServeContext {
             registry: Arc::clone(guard.registry()),
             manifest_json: manifest.to_json(),
-            health: Some(Arc::clone(&health)),
+            health: None,
+            fleet: Some(Arc::clone(&fleet_health)),
         },
     )?;
     eprintln!(
         "serve: http://{} — /metrics (Prometheus 0.0.4), /healthz, /readyz, /manifest",
         server.local_addr()
     );
-    if let Some(path) = &checkpoint {
+    eprintln!(
+        "serve: fleet of {} streams across {} shards",
+        options.streams, options.shards
+    );
+    if let Some(path) = &options.checkpoint {
         eprintln!(
-            "serve: checkpointing to {} every {checkpoint_every} windows",
-            path.display()
+            "serve: checkpointing to {} every {} windows per shard",
+            path.display(),
+            options.checkpoint_every
         );
     }
+    if !options.panic_shards.is_empty() {
+        // Injected panics are expected: one stderr line each instead of
+        // a full backtrace per restart.
+        std::panic::set_hook(Box::new(|info| {
+            eprintln!("serve: worker panic: {info}");
+        }));
+    }
 
-    let pipeline = resilience::PipelineConfig {
-        windows_limit,
-        checkpoint_every: if checkpoint.is_some() {
-            checkpoint_every
+    // Injected shard panics land a third of the way into bounded runs
+    // (48 windows in for unbounded ones), leaving room to observe both
+    // the fault and the recovery.
+    let panic_cursor = if options.windows_limit > 0 {
+        (options.windows_limit / 3).max(8)
+    } else {
+        48
+    };
+    let fleet_config = fleet::FleetConfig {
+        checkpoint_every: if options.checkpoint.is_some() {
+            options.checkpoint_every
         } else {
             0
         },
-        checkpoint_path: checkpoint,
+        checkpoint_path: options.checkpoint.clone(),
         config_digest: config_digest_u64,
-        queue_capacity: 32,
+        pristine_stream: template,
         // Pace at the paper's 10 ms sampling period when running as a
         // long-lived monitor; stream at full speed for bounded runs.
-        pace: (windows_limit == 0).then(|| Duration::from_millis(10)),
-        // A long-lived monitor sheds load under backpressure; bounded
-        // smoke runs stay lossless so window counts are exact.
-        drop_when_full: windows_limit == 0,
+        pace: (options.windows_limit == 0).then(|| Duration::from_millis(10)),
+        // A long-lived fleet sheds load under backpressure (hot streams
+        // last); bounded smoke runs stay lossless so window counts are
+        // exact.
+        shed_when_full: options.windows_limit == 0,
         max_restarts: 16,
         backoff_ms: (100, 5_000),
         sleep_on_backoff: true,
         breaker: (16, 8, 64),
-        panic_at: Vec::new(),
-        nan_burst: None,
+        panic_at: options
+            .panic_shards
+            .iter()
+            .map(|&shard| (shard, panic_cursor))
+            .collect(),
         stop: Some(Arc::new(AtomicBool::new(false))),
-        health: Some(Arc::clone(&health)),
+        fleet_health: Some(Arc::clone(&fleet_health)),
         capture_verdicts: false,
         verbose: true,
+        ..fleet::FleetConfig::lossless(options.streams, options.shards, options.windows_limit)
     };
-    // Bridge the process-wide SIGINT flag into the pipeline's stop flag.
-    let stop = pipeline.stop.clone().expect("stop flag just set");
+    // Bridge the process-wide SIGINT flag into the fleet's stop flag.
+    let stop = fleet_config.stop.clone().expect("stop flag just set");
     let bridge = {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
@@ -580,7 +660,7 @@ fn run_monitor(
         })
     };
 
-    let report = resilience::run_pipeline(&monitor, &config.collector.sampler, &pipeline)?;
+    let report = fleet::run_fleet(&detector, &config.collector.sampler, &fleet_config)?;
     stop.store(true, Ordering::SeqCst);
     let _ = bridge.join();
 
@@ -591,9 +671,21 @@ fn run_monitor(
     // final snapshot (and any last /metrics pull) carries them.
     hbmd_obs::gauge_set("supervisor.restarts_total", report.restarts as i64);
     hbmd_obs::gauge_set("breaker.trips_total", report.trips as i64);
+    for shard in &report.shards {
+        eprintln!(
+            "serve: shard {}: {} streams, {} windows, {} restarts, {} trips, {} quarantines{}",
+            shard.shard,
+            shard.streams,
+            shard.processed,
+            shard.restarts,
+            shard.trips,
+            shard.quarantines,
+            if shard.gave_up { " — GAVE UP" } else { "" },
+        );
+    }
     eprintln!(
-        "serve: {} windows observed; final scrape state:",
-        report.observed
+        "serve: {} windows observed across the fleet ({:.0} windows/sec); final scrape state:",
+        report.processed, report.windows_per_sec
     );
     eprint!("{}", guard.registry().snapshot().summary());
     server.shutdown()?;
@@ -602,8 +694,10 @@ fn run_monitor(
 
 /// `repro chaos` — drive the supervised serve pipeline through injected
 /// worker panics, a NaN fault-plan burst, and a deliberately corrupted
-/// checkpoint, asserting the recovery invariants the resilience layer
-/// promises. Exits 0 only when every drill passes.
+/// checkpoint, then the sharded fleet through a shard kill, a corrupted
+/// snapshot section, and a persistently faulty stream — asserting the
+/// recovery and bulkhead invariants the resilience and fleet layers
+/// promise. Exits 0 only when every drill passes.
 fn chaos_mode(args: &[String]) -> ExitCode {
     let mut scale = 0.05f64;
     let mut windows = 320u64;
@@ -785,7 +879,157 @@ fn run_chaos(
         "classification resumes after the burst clears",
     );
 
+    // Drill 5: kill one shard of a fleet mid-run, twice. The bulkhead
+    // contract: only the victim shard restarts and replays; every other
+    // shard's streams never miss a window, and after recovery the whole
+    // fleet's verdict streams are byte-identical to an unfaulted run.
+    let fleet_checkpoint = dir.join("fleet.snap");
+    let _ = std::fs::remove_file(&fleet_checkpoint);
+    let detector = monitor.shared_detector();
+    let template = StreamState::new(4, 3, 1, 1)?;
+    let (streams, shards, fleet_windows) = (24u64, 4usize, 96u64);
+    let base_cfg = fleet::FleetConfig {
+        pristine_stream: template.clone(),
+        ..fleet::FleetConfig::lossless(streams, shards, fleet_windows)
+    };
+    let fleet_baseline = fleet::run_fleet(&detector, sampler, &base_cfg)?;
+    check(
+        fleet_baseline.restarts == 0
+            && fleet_baseline.verdicts.len() == streams as usize
+            && fleet_baseline
+                .verdicts
+                .values()
+                .all(|v| v.iter().all(Option::is_some)),
+        "fleet baseline classifies every window of every stream without restarts",
+    );
+
+    // The shard that owns stream 0 is guaranteed non-empty.
+    let victim = hbmd_core::shard_of(0, shards);
+    let fleet_faulted = fleet::run_fleet(
+        &detector,
+        sampler,
+        &fleet::FleetConfig {
+            checkpoint_every,
+            checkpoint_path: Some(fleet_checkpoint.clone()),
+            config_digest: digest,
+            panic_at: vec![(victim, fleet_windows / 3), (victim, 2 * fleet_windows / 3)],
+            ..base_cfg.clone()
+        },
+    )?;
+    check(
+        fleet_faulted.restarts == 2 && fleet_faulted.shards[victim].restarts == 2,
+        "only the victim shard's supervisor restarted, once per injected panic",
+    );
+    check(
+        fleet_faulted
+            .shards
+            .iter()
+            .filter(|s| s.shard != victim)
+            .all(|s| s.restarts == 0 && s.max_missed_gap == 0),
+        "bulkhead holds: no other shard restarted or missed a window",
+    );
+    check(
+        fleet_faulted.verdicts == fleet_baseline.verdicts,
+        "fleet verdict streams are byte-identical to the unfaulted run",
+    );
+    check(
+        fleet_faulted.max_missed_gap <= checkpoint_every + 64,
+        "victim shard's replay gap is bounded by checkpoint spacing + queue depth",
+    );
+    check(
+        fleet_checkpoint.exists(),
+        "multiplexed fleet checkpoint flushed on clean shutdown",
+    );
+
+    // Drill 6: corrupt exactly one stream section of the multiplexed
+    // snapshot. The fleet-wide restore must still succeed — only the
+    // corrupted stream falls back pristine and replays, reconverging on
+    // the baseline while every other stream resumes untouched.
+    let mut fleet_bytes = std::fs::read(&fleet_checkpoint)?;
+    let spans = snapshot::fleet_stream_section_spans(&fleet_bytes)?;
+    let span = spans[spans.len() / 2].clone();
+    fleet_bytes[span.start] ^= 0x01;
+    std::fs::write(&fleet_checkpoint, &fleet_bytes)?;
+    let partial = snapshot::load_fleet(&fleet_checkpoint, digest)?;
+    let lost: Vec<u64> = (0..streams)
+        .filter(|s| partial.streams.iter().all(|sec| sec.stream != *s))
+        .collect();
+    check(
+        partial.lost_sections == 1 && lost.len() == 1,
+        "one corrupt stream section lost alone; every other stream restored",
+    );
+    let lost_stream = lost.first().copied().unwrap_or(0);
+    let fleet_partial = fleet::run_fleet(
+        &detector,
+        sampler,
+        &fleet::FleetConfig {
+            checkpoint_every,
+            checkpoint_path: Some(fleet_checkpoint.clone()),
+            config_digest: digest,
+            ..base_cfg.clone()
+        },
+    )?;
+    check(
+        fleet_partial.refusals == 0 && fleet_partial.lost_sections >= 1,
+        "fleet-wide restore succeeded with per-stream fallback, no whole-file refusal",
+    );
+    check(
+        fleet_partial.processed == fleet_windows
+            && fleet_partial.verdicts.get(&lost_stream)
+                == fleet_baseline.verdicts.get(&lost_stream),
+        "only the corrupted stream replayed, reconverging on the baseline",
+    );
+
+    // Drill 7: a persistently faulty endpoint. Its stream health must
+    // quarantine it (protecting the shard's breaker), then readmit it
+    // through probation once the fault clears — while its healthy
+    // neighbors' verdicts stay untouched.
+    let (q_streams, q_windows) = (4u64, 256u64);
+    let q_base = fleet::FleetConfig {
+        pristine_stream: template,
+        // A breaker that cannot trip on one stream's faults: the drill
+        // isolates the quarantine mechanism.
+        breaker: (16, 16, 64),
+        ..fleet::FleetConfig::lossless(q_streams, 1, q_windows)
+    };
+    let quiet = fleet::run_fleet(&detector, sampler, &q_base)?;
+    let faulty_stream = 2u64;
+    let stormy_fleet = fleet::run_fleet(
+        &detector,
+        sampler,
+        &fleet::FleetConfig {
+            nan_streams: vec![(faulty_stream, 64, 128)],
+            ..q_base.clone()
+        },
+    )?;
+    let (standing, stream_quarantines, stream_readmissions) = stormy_fleet
+        .stream_health
+        .get(&faulty_stream)
+        .copied()
+        .unwrap_or((StreamStanding::Active, 0, 0));
+    check(
+        stream_quarantines >= 1 && stormy_fleet.quarantine_skipped >= 32,
+        "persistently faulty stream was quarantined and its windows skipped",
+    );
+    check(
+        stream_readmissions >= 1 && standing == StreamStanding::Active,
+        "quarantined stream readmitted through probation once clean",
+    );
+    check(
+        stormy_fleet.trips == 0,
+        "quarantine absorbed the faulty stream before the shard breaker tripped",
+    );
+    check(
+        stormy_fleet
+            .verdicts
+            .iter()
+            .filter(|(s, _)| **s != faulty_stream)
+            .all(|(s, v)| quiet.verdicts.get(s) == Some(v)),
+        "healthy neighbors' verdicts are untouched by the quarantine",
+    );
+
     let _ = std::fs::remove_file(&checkpoint);
+    let _ = std::fs::remove_file(&fleet_checkpoint);
     let _ = std::fs::remove_dir(&dir);
     let _ = guard;
     println!("supervisor.restarts_total {}", faulted.restarts);
@@ -937,8 +1181,9 @@ fn run(
     experiment: &str,
     config: &ExperimentConfig,
     cache: &CollectCache,
-) -> Result<(), Box<dyn std::error::Error>> {
+) -> Result<Option<f64>, Box<dyn std::error::Error>> {
     match experiment {
+        "fleet" => return Ok(Some(fleet_phase(config, cache)?)),
         "table1" => table1(config, cache),
         "fig6" => fig6(config, cache),
         "table2" => table2(config, cache)?,
@@ -963,7 +1208,58 @@ fn run(
         "ablate-mlp" => ablate_mlp(config, cache)?,
         other => return Err(format!("unknown experiment `{other}`").into()),
     }
-    Ok(())
+    Ok(None)
+}
+
+/// The `fleet` bench phase: run a small sharded fleet at full speed and
+/// report its aggregate throughput. The deterministic facts (stream
+/// placement, counters) go to stdout; the machine-dependent rate goes
+/// to stderr and into `BENCH_repro.json` as `windows_per_sec`, where
+/// `repro bench-diff` gates the phase's wall-clock.
+fn fleet_phase(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    println!("## Fleet: sharded online monitoring throughput");
+    let collection = cache.collect(config)?;
+    let detector = DetectorBuilder::new()
+        .classifier(ClassifierKind::J48)
+        .feature_set(FeatureSet::Top(8))
+        .train_binary(&collection.dataset)?;
+    let monitor = OnlineDetector::builder(detector)
+        .window(4)
+        .threshold(3)
+        .build()?;
+    let (detector, template) = monitor.into_parts();
+
+    let (streams, shards, windows) = (64u64, 8usize, 64u64);
+    let fleet_config = fleet::FleetConfig {
+        pristine_stream: template,
+        capture_verdicts: false,
+        ..fleet::FleetConfig::lossless(streams, shards, windows)
+    };
+    let report = fleet::run_fleet(&detector, &config.collector.sampler, &fleet_config)?;
+
+    let mut table = TextTable::new(vec!["streams", "shards", "windows/stream", "windows"]);
+    table.row(vec![
+        streams.to_string(),
+        shards.to_string(),
+        windows.to_string(),
+        report.processed.to_string(),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "restarts {}  trips {}  quarantines {}  shed {}",
+        report.restarts,
+        report.trips,
+        report.quarantines,
+        report.shed_low + report.shed_high
+    );
+    eprintln!(
+        "fleet: {:.0} windows/sec aggregate over {} shards ({} ms wall)",
+        report.windows_per_sec, shards, report.wall_ms
+    );
+    Ok(report.windows_per_sec)
 }
 
 fn table1(config: &ExperimentConfig, cache: &CollectCache) {

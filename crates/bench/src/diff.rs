@@ -295,6 +295,7 @@ mod tests {
                 .map(|(n, ms)| PhaseTiming {
                     name: (*n).to_owned(),
                     wall_ms: *ms,
+                    windows_per_sec: None,
                 })
                 .collect(),
             cache_hits: 3,

@@ -4,6 +4,7 @@
 //! [`diff`] comparison that gates CI on timing regressions.
 
 pub mod diff;
+pub mod fleet;
 mod report;
 pub mod resilience;
 

@@ -15,6 +15,9 @@ pub struct PhaseTiming {
     pub name: String,
     /// Wall-clock milliseconds.
     pub wall_ms: u128,
+    /// Aggregate throughput for phases that measure one (the `fleet`
+    /// phase's windows per second); omitted from the JSON otherwise.
+    pub windows_per_sec: Option<f64>,
 }
 
 /// The full `BENCH_repro.json` payload.
@@ -69,10 +72,15 @@ impl BenchReport {
         ));
         out.push_str("  \"phases\": [\n");
         for (i, phase) in self.phases.iter().enumerate() {
+            let rate = phase
+                .windows_per_sec
+                .map(|w| format!(", \"windows_per_sec\": {}", json_f64(w)))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "    {{\"name\": {}, \"wall_ms\": {}}}{}\n",
+                "    {{\"name\": {}, \"wall_ms\": {}{}}}{}\n",
                 json_string(&phase.name),
                 phase.wall_ms,
+                rate,
                 if i + 1 < self.phases.len() { "," } else { "" }
             ));
         }
@@ -130,10 +138,12 @@ mod tests {
                 PhaseTiming {
                     name: "fig13".to_owned(),
                     wall_ms: 1200,
+                    windows_per_sec: None,
                 },
                 PhaseTiming {
                     name: "roc \"quoted\"".to_owned(),
                     wall_ms: 34,
+                    windows_per_sec: Some(1234.5),
                 },
             ],
             cache_hits: 12,
@@ -151,6 +161,7 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("{\"name\": \"fig13\", \"wall_ms\": 1200},"));
         assert!(json.contains("\"roc \\\"quoted\\\"\""));
+        assert!(json.contains("\"windows_per_sec\": 1234.5"));
         assert!(json.contains("\"cache\": {\"hits\": 12, \"misses\": 1}"));
         assert!(json.contains("\"total_ms\": 1234"));
         // Balanced braces/brackets — a cheap well-formedness check.

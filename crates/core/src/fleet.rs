@@ -1,0 +1,355 @@
+//! Fleet-scale primitives: stream→shard placement and per-stream
+//! health scoring.
+//!
+//! A fleet monitor watches thousands of independent endpoint streams
+//! with one shared trained model. Two deterministic policies live
+//! here, mirroring the [`supervisor`](crate::supervisor) design (tick
+//! counted, wall-clock free, exactly replayable):
+//!
+//! * [`shard_of`] — stable hash placement of a stream onto one of N
+//!   shards. Every window of a stream lands on the same shard, so
+//!   per-stream window order (and therefore the verdict stream) is
+//!   independent of the shard count.
+//! * [`StreamHealth`] — a leaky-bucket fault score with a
+//!   quarantine/probation/readmission state machine. A persistently
+//!   faulty stream (e.g. a NaN-bursting collector) is quarantined —
+//!   its windows are skipped instead of burning classifier time and
+//!   polluting breaker statistics — then readmitted through a
+//!   probation period once it behaves again.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbmd_core::fleet::{shard_of, StreamHealth, StreamHealthConfig, StreamStanding};
+//!
+//! // Placement is stable: the same stream always maps to the same shard.
+//! assert_eq!(shard_of(7, 4), shard_of(7, 4));
+//!
+//! let mut health = StreamHealth::new(StreamHealthConfig {
+//!     fault_threshold: 4,
+//!     quarantine_ticks: 3,
+//!     probation_clean: 2,
+//! });
+//! for _ in 0..2 {
+//!     health.record(true); // each fault scores 2
+//! }
+//! assert_eq!(health.standing(), StreamStanding::Quarantined);
+//! ```
+
+use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
+use hbmd_obs::manifest::fnv1a_64;
+
+/// The shard a stream belongs to: FNV-1a of the stream id, mod the
+/// shard count. Stable across runs and machines, and uniform enough
+/// that a fleet spreads evenly without a placement table.
+pub fn shard_of(stream: u64, shards: usize) -> usize {
+    let shards = shards.max(1);
+    (fnv1a_64(&stream.to_le_bytes()) % shards as u64) as usize
+}
+
+/// Where a stream currently stands with its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamStanding {
+    /// Healthy: windows are classified normally.
+    Active,
+    /// Quarantined: windows are skipped (each skip burns one cooldown
+    /// tick) until the quarantine elapses.
+    Quarantined,
+    /// Cooldown elapsed: windows are classified again, but one fault
+    /// re-quarantines immediately and only a clean streak readmits.
+    Probation,
+}
+
+impl StreamStanding {
+    /// Lower-case name, as exposed on `/readyz` and in chaos output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StreamStanding::Active => "active",
+            StreamStanding::Quarantined => "quarantined",
+            StreamStanding::Probation => "probation",
+        }
+    }
+}
+
+impl std::fmt::Display for StreamStanding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Shape of the [`StreamHealth`] policy. All counts are in observed
+/// windows (ticks), never wall-clock, so the state machine replays
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHealthConfig {
+    /// Fault score that triggers quarantine. Each faulted window adds
+    /// 2, each clean window drains 1 (leaky bucket) — so score
+    /// `2·faults − cleans` reaching this threshold means faults are
+    /// persistent, not sporadic. Zero is promoted to 1.
+    pub fault_threshold: u32,
+    /// Windows skipped while quarantined before probation begins.
+    pub quarantine_ticks: u64,
+    /// Consecutive clean windows on probation required to readmit.
+    /// Zero is promoted to 1.
+    pub probation_clean: u32,
+}
+
+impl Default for StreamHealthConfig {
+    /// The serve defaults: quarantine after a sustained burst
+    /// (score 16 ≈ 8 net faults), sit out 64 windows, readmit after 16
+    /// clean probation windows.
+    fn default() -> StreamHealthConfig {
+        StreamHealthConfig {
+            fault_threshold: 16,
+            quarantine_ticks: 64,
+            probation_clean: 16,
+        }
+    }
+}
+
+/// Per-stream health: a leaky-bucket fault score driving the
+/// quarantine/probation/readmission state machine described on the
+/// [module page](self).
+///
+/// Call [`record`](StreamHealth::record) once per window of the
+/// stream, whether the window was classified (pass the fault flag) or
+/// skipped in quarantine (the flag is ignored; the tick burns
+/// cooldown). The return value is the standing to apply to the *next*
+/// window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamHealth {
+    config: StreamHealthConfig,
+    standing: StreamStanding,
+    fault_score: u32,
+    cooldown_left: u64,
+    clean_streak: u32,
+    quarantines: u64,
+    readmissions: u64,
+}
+
+impl StreamHealth {
+    /// A healthy stream under `config` (zeroed counters, standing
+    /// [`StreamStanding::Active`]).
+    pub fn new(config: StreamHealthConfig) -> StreamHealth {
+        StreamHealth {
+            config: StreamHealthConfig {
+                fault_threshold: config.fault_threshold.max(1),
+                quarantine_ticks: config.quarantine_ticks,
+                probation_clean: config.probation_clean.max(1),
+            },
+            standing: StreamStanding::Active,
+            fault_score: 0,
+            cooldown_left: 0,
+            clean_streak: 0,
+            quarantines: 0,
+            readmissions: 0,
+        }
+    }
+
+    /// Current standing.
+    pub fn standing(&self) -> StreamStanding {
+        self.standing
+    }
+
+    /// `true` while the stream's windows must be skipped.
+    pub fn is_quarantined(&self) -> bool {
+        self.standing == StreamStanding::Quarantined
+    }
+
+    /// Times the stream was quarantined.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Times the stream finished probation and was readmitted.
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions
+    }
+
+    /// Record one window of this stream and return the standing to
+    /// apply to the next one. `faulted` is meaningful while
+    /// [`Active`](StreamStanding::Active) or
+    /// [`Probation`](StreamStanding::Probation); a quarantined tick
+    /// ignores it and burns cooldown instead.
+    pub fn record(&mut self, faulted: bool) -> StreamStanding {
+        match self.standing {
+            StreamStanding::Active => {
+                if faulted {
+                    self.fault_score = self.fault_score.saturating_add(2);
+                    if self.fault_score >= self.config.fault_threshold {
+                        self.quarantine();
+                    }
+                } else {
+                    self.fault_score = self.fault_score.saturating_sub(1);
+                }
+            }
+            StreamStanding::Quarantined => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.standing = StreamStanding::Probation;
+                    self.clean_streak = 0;
+                }
+            }
+            StreamStanding::Probation => {
+                if faulted {
+                    self.quarantine();
+                } else {
+                    self.clean_streak += 1;
+                    if self.clean_streak >= self.config.probation_clean {
+                        self.standing = StreamStanding::Active;
+                        self.fault_score = 0;
+                        self.readmissions += 1;
+                    }
+                }
+            }
+        }
+        self.standing
+    }
+
+    fn quarantine(&mut self) {
+        self.standing = StreamStanding::Quarantined;
+        self.quarantines += 1;
+        self.fault_score = 0;
+        self.cooldown_left = self.config.quarantine_ticks.max(1);
+    }
+}
+
+const STANDING_TAGS: [StreamStanding; 3] = [
+    StreamStanding::Active,
+    StreamStanding::Quarantined,
+    StreamStanding::Probation,
+];
+
+impl Snap for StreamHealth {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.config.fault_threshold);
+        w.put_u64(self.config.quarantine_ticks);
+        w.put_u32(self.config.probation_clean);
+        let tag = STANDING_TAGS
+            .iter()
+            .position(|&s| s == self.standing)
+            .expect("standing is one of the three tags") as u8;
+        w.put_u8(tag);
+        w.put_u32(self.fault_score);
+        w.put_u64(self.cooldown_left);
+        w.put_u32(self.clean_streak);
+        w.put_u64(self.quarantines);
+        w.put_u64(self.readmissions);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let fault_threshold = r.get_u32()?;
+        let quarantine_ticks = r.get_u64()?;
+        let probation_clean = r.get_u32()?;
+        if fault_threshold == 0 || probation_clean == 0 {
+            return Err(SnapError::Invalid(
+                "stream health thresholds must be non-zero".to_owned(),
+            ));
+        }
+        let tag = usize::from(r.get_u8()?);
+        let standing = *STANDING_TAGS
+            .get(tag)
+            .ok_or_else(|| SnapError::Invalid(format!("standing tag {tag}")))?;
+        Ok(StreamHealth {
+            config: StreamHealthConfig {
+                fault_threshold,
+                quarantine_ticks,
+                probation_clean,
+            },
+            standing,
+            fault_score: r.get_u32()?,
+            cooldown_left: r.get_u64()?,
+            clean_streak: r.get_u32()?,
+            quarantines: r.get_u64()?,
+            readmissions: r.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> StreamHealth {
+        StreamHealth::new(StreamHealthConfig {
+            fault_threshold: 4,
+            quarantine_ticks: 3,
+            probation_clean: 2,
+        })
+    }
+
+    #[test]
+    fn placement_is_stable_and_covers_all_shards() {
+        for stream in 0..64u64 {
+            assert_eq!(shard_of(stream, 8), shard_of(stream, 8));
+            assert!(shard_of(stream, 8) < 8);
+        }
+        // 64 streams over 8 shards: hashing must hit every shard.
+        let hit: std::collections::BTreeSet<usize> = (0..64u64).map(|s| shard_of(s, 8)).collect();
+        assert_eq!(hit.len(), 8, "placement left shards empty: {hit:?}");
+        // Degenerate shard counts stay in range.
+        assert_eq!(shard_of(5, 0), 0);
+        assert_eq!(shard_of(5, 1), 0);
+    }
+
+    #[test]
+    fn persistent_faults_quarantine_then_probation_readmits() {
+        let mut health = tight();
+        // Two faults score 4 = threshold → quarantined.
+        assert_eq!(health.record(true), StreamStanding::Active);
+        assert_eq!(health.record(true), StreamStanding::Quarantined);
+        assert_eq!(health.quarantines(), 1);
+        // Three quarantine ticks burn down into probation.
+        assert_eq!(health.record(false), StreamStanding::Quarantined);
+        assert_eq!(health.record(false), StreamStanding::Quarantined);
+        assert_eq!(health.record(false), StreamStanding::Probation);
+        // Two clean probation windows readmit.
+        assert_eq!(health.record(false), StreamStanding::Probation);
+        assert_eq!(health.record(false), StreamStanding::Active);
+        assert_eq!(health.readmissions(), 1);
+    }
+
+    #[test]
+    fn probation_fault_requarantines() {
+        let mut health = tight();
+        health.record(true);
+        health.record(true);
+        for _ in 0..3 {
+            health.record(false);
+        }
+        assert_eq!(health.standing(), StreamStanding::Probation);
+        assert_eq!(health.record(true), StreamStanding::Quarantined);
+        assert_eq!(health.quarantines(), 2);
+    }
+
+    #[test]
+    fn sporadic_faults_drain_without_quarantine() {
+        let mut health = tight();
+        // fault (+2) followed by two cleans (−2) never accumulates.
+        for _ in 0..32 {
+            health.record(true);
+            health.record(false);
+            health.record(false);
+        }
+        assert_eq!(health.standing(), StreamStanding::Active);
+        assert_eq!(health.quarantines(), 0);
+    }
+
+    #[test]
+    fn snap_roundtrip_preserves_mid_quarantine_state() {
+        let mut health = tight();
+        health.record(true);
+        health.record(true);
+        health.record(false); // one cooldown tick burned
+        let mut w = SnapWriter::new();
+        health.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut back = StreamHealth::unsnap(&mut r).expect("decode own encoding");
+        assert!(r.is_done());
+        assert_eq!(back, health);
+        // The restored machine continues exactly where the original
+        // would: two more ticks reach probation.
+        back.record(false);
+        assert_eq!(back.record(false), StreamStanding::Probation);
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod experiments;
+pub mod fleet;
 pub mod snapshot;
 pub mod supervisor;
 
@@ -63,10 +64,11 @@ pub use detector::{Detector, DetectorBuilder, DetectorMode, Verdict};
 pub use error::CoreError;
 pub use experiments::cache::{CacheStats, CollectCache, Collection};
 pub use features::{FeaturePlan, FeatureSet};
+pub use fleet::{shard_of, StreamHealth, StreamHealthConfig, StreamStanding};
 pub use hbmd_ml::par;
-pub use online::{OnlineDetector, OnlineDetectorBuilder, OnlineVerdict};
+pub use online::{OnlineDetector, OnlineDetectorBuilder, OnlineVerdict, StreamState};
 pub use sanitize::{SanitizeOutcome, Sanitizer};
-pub use snapshot::{MonitorSnapshot, SnapshotError};
+pub use snapshot::{FleetRestore, MonitorSnapshot, SnapshotError, StreamSection};
 pub use suite::{ClassifierKind, TrainedModel};
 pub use supervisor::{Backoff, BreakerState, CircuitBreaker};
 pub use voting::VotingDetector;

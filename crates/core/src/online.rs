@@ -1,4 +1,5 @@
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use hbmd_events::FeatureVector;
 use hbmd_malware::AppClass;
@@ -71,7 +72,22 @@ pub enum OnlineVerdict {
 /// ```
 #[derive(Debug, Clone)]
 pub struct OnlineDetector {
-    detector: Detector,
+    detector: Arc<Detector>,
+    state: StreamState,
+}
+
+/// The per-stream half of an online monitor: the vote-window ring,
+/// hysteresis counters, and latched alarm — everything that mutates as
+/// windows arrive, with the (expensive, immutable) trained
+/// [`Detector`] factored out so a fleet of thousands of streams can
+/// share one model behind an [`Arc`].
+///
+/// A [`StreamState`] is fed through
+/// [`observe`](StreamState::observe), which borrows the shared
+/// detector per call; [`OnlineDetector`] is the single-stream
+/// convenience wrapper that pairs one `StreamState` with its detector.
+#[derive(Debug, Clone)]
+pub struct StreamState {
     window: usize,
     threshold: usize,
     history: VecDeque<Verdict>,
@@ -95,7 +111,7 @@ pub struct OnlineDetector {
 /// 4 verdicts, 3 malicious votes to alarm, no hysteresis.
 #[derive(Debug, Clone)]
 pub struct OnlineDetectorBuilder {
-    detector: Detector,
+    detector: Arc<Detector>,
     window: usize,
     threshold: usize,
     raise_after: usize,
@@ -105,6 +121,12 @@ pub struct OnlineDetectorBuilder {
 impl OnlineDetectorBuilder {
     /// Start from a trained detector with the default window/threshold.
     pub fn new(detector: Detector) -> OnlineDetectorBuilder {
+        OnlineDetectorBuilder::shared(Arc::new(detector))
+    }
+
+    /// Start from an already-shared detector — the fleet path, where
+    /// thousands of monitors vote against one immutably-held model.
+    pub fn shared(detector: Arc<Detector>) -> OnlineDetectorBuilder {
         OnlineDetectorBuilder {
             detector,
             window: 4,
@@ -160,15 +182,28 @@ impl OnlineDetectorBuilder {
         }
         Ok(OnlineDetector {
             detector: self.detector,
-            window: self.window,
-            threshold: self.threshold,
-            history: VecDeque::with_capacity(self.window),
-            raise_after: self.raise_after,
-            clear_after: self.clear_after,
-            alarm_streak: 0,
-            clean_streak: 0,
-            latched: None,
+            state: StreamState {
+                window: self.window,
+                threshold: self.threshold,
+                history: VecDeque::with_capacity(self.window),
+                raise_after: self.raise_after,
+                clear_after: self.clear_after,
+                alarm_streak: 0,
+                clean_streak: 0,
+                latched: None,
+            },
         })
+    }
+
+    /// Build just the per-stream state (no detector attached) — the
+    /// fleet path, where one [`StreamState`] is minted per monitored
+    /// endpoint and the detector is borrowed at observe time.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`build`](OnlineDetectorBuilder::build).
+    pub fn build_stream(self) -> Result<StreamState, CoreError> {
+        Ok(self.build()?.state)
     }
 }
 
@@ -211,8 +246,8 @@ impl OnlineDetector {
     pub fn with_hysteresis(mut self, raise_after: usize, clear_after: usize) -> OnlineDetector {
         assert!(raise_after > 0, "raise_after must be non-zero");
         assert!(clear_after > 0, "clear_after must be non-zero");
-        self.raise_after = raise_after;
-        self.clear_after = clear_after;
+        self.state.raise_after = raise_after;
+        self.state.clear_after = clear_after;
         self
     }
 
@@ -221,9 +256,31 @@ impl OnlineDetector {
         &self.detector
     }
 
+    /// A cheap handle to the shared detector — clone this to mint
+    /// further per-stream states against the same model.
+    pub fn shared_detector(&self) -> Arc<Detector> {
+        Arc::clone(&self.detector)
+    }
+
+    /// The per-stream half of the monitor.
+    pub fn state(&self) -> &StreamState {
+        &self.state
+    }
+
+    /// Split into the shared detector and the per-stream state.
+    pub fn into_parts(self) -> (Arc<Detector>, StreamState) {
+        (self.detector, self.state)
+    }
+
+    /// Reassemble a monitor from a shared detector and a stream state
+    /// (the inverse of [`into_parts`](Self::into_parts)).
+    pub fn from_parts(detector: Arc<Detector>, state: StreamState) -> OnlineDetector {
+        OnlineDetector { detector, state }
+    }
+
     /// Abstaining verdicts currently in the voting window.
     pub fn abstentions(&self) -> usize {
-        self.history.iter().filter(|v| v.is_abstain()).count()
+        self.state.abstentions()
     }
 
     /// `true` when the most recently observed window abstained —
@@ -231,14 +288,89 @@ impl OnlineDetector {
     /// circuit breaker (unlike [`abstentions`](Self::abstentions),
     /// this does not saturate once the voting window fills up).
     pub fn last_window_abstained(&self) -> bool {
-        self.history.back().is_some_and(|v| v.is_abstain())
+        self.state.last_window_abstained()
     }
 
     /// Feed one sampling window; returns the aggregated decision.
     pub fn observe(&mut self, window: &FeatureVector) -> OnlineVerdict {
+        self.state.observe(&self.detector, window)
+    }
+
+    /// The current aggregated decision without feeding a new window:
+    /// the latched alarm while hysteresis holds it, otherwise the raw
+    /// majority vote (suppressed until `raise_after` is met).
+    pub fn decision(&self) -> OnlineVerdict {
+        self.state.decision()
+    }
+
+    /// Drop all observed history and any latched alarm (e.g. on a
+    /// process switch).
+    pub fn reset(&mut self) {
+        self.state.reset();
+    }
+}
+
+impl StreamState {
+    /// A fresh stream state with validated voting/hysteresis shape —
+    /// the same checks [`OnlineDetectorBuilder::build`] applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when the window is zero, the
+    /// threshold exceeds the window, or either hysteresis count is
+    /// zero.
+    pub fn new(
+        window: usize,
+        threshold: usize,
+        raise_after: usize,
+        clear_after: usize,
+    ) -> Result<StreamState, CoreError> {
+        if window == 0 {
+            return Err(CoreError::Config("window must be non-zero".to_owned()));
+        }
+        if threshold > window {
+            return Err(CoreError::Config(format!(
+                "threshold {threshold} cannot exceed the window {window}"
+            )));
+        }
+        if raise_after == 0 || clear_after == 0 {
+            return Err(CoreError::Config(
+                "hysteresis counts must be non-zero".to_owned(),
+            ));
+        }
+        Ok(StreamState {
+            window,
+            threshold,
+            history: VecDeque::with_capacity(window),
+            raise_after,
+            clear_after,
+            alarm_streak: 0,
+            clean_streak: 0,
+            latched: None,
+        })
+    }
+
+    /// The voting-window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Abstaining verdicts currently in the voting window.
+    pub fn abstentions(&self) -> usize {
+        self.history.iter().filter(|v| v.is_abstain()).count()
+    }
+
+    /// `true` when the most recently observed window abstained.
+    pub fn last_window_abstained(&self) -> bool {
+        self.history.back().is_some_and(|v| v.is_abstain())
+    }
+
+    /// Feed one sampling window through `detector`; returns the
+    /// aggregated decision for this stream.
+    pub fn observe(&mut self, detector: &Detector, window: &FeatureVector) -> OnlineVerdict {
         let _latency = hbmd_obs::timer("online.observe_ns");
         hbmd_obs::incr("online.windows_observed");
-        let verdict = self.detector.classify_sanitized(window);
+        let verdict = detector.classify_sanitized(window);
         if self.history.len() == self.window {
             self.history.pop_front();
         }
@@ -350,9 +482,11 @@ impl OnlineDetector {
 
 use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
-impl Snap for OnlineDetector {
+/// The stream-only half of the snapshot layout — exactly the bytes
+/// the v1 [`OnlineDetector`] encoding wrote after the detector, so the
+/// monitor codec composes `detector.snap` + `state.snap` unchanged.
+impl Snap for StreamState {
     fn snap(&self, w: &mut SnapWriter) {
-        self.detector.snap(w);
         self.window.snap(w);
         self.threshold.snap(w);
         w.put_usize(self.history.len());
@@ -373,7 +507,6 @@ impl Snap for OnlineDetector {
         }
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
-        let detector = Detector::unsnap(r)?;
         let window: usize = Snap::unsnap(r)?;
         let threshold: usize = Snap::unsnap(r)?;
         if window == 0 || threshold == 0 || threshold > window {
@@ -410,8 +543,7 @@ impl Snap for OnlineDetector {
             }
             other => return Err(SnapError::Invalid(format!("latch tag {other}"))),
         };
-        Ok(OnlineDetector {
-            detector,
+        Ok(StreamState {
             window,
             threshold,
             history,
@@ -420,6 +552,21 @@ impl Snap for OnlineDetector {
             alarm_streak,
             clean_streak,
             latched,
+        })
+    }
+}
+
+impl Snap for OnlineDetector {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.detector.snap(w);
+        self.state.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let detector = Detector::unsnap(r)?;
+        let state = StreamState::unsnap(r)?;
+        Ok(OnlineDetector {
+            detector: Arc::new(detector),
+            state,
         })
     }
 }

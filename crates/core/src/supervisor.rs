@@ -36,11 +36,20 @@
 /// Purely arithmetic — the caller decides whether a "delay" is a real
 /// sleep (serve mode) or a simulated tick (chaos mode), which keeps
 /// restart schedules deterministic under test.
+///
+/// [`with_jitter`](Backoff::with_jitter) adds *deterministic* jitter:
+/// each delay is spread over `[¾d, 5⁄4d]` by hashing the seed with the
+/// restart counter, so co-faulting shards (different seeds) desynchronise
+/// their restart storms while any single schedule still replays
+/// byte-for-byte.
 #[derive(Debug, Clone)]
 pub struct Backoff {
     base_ms: u64,
     max_ms: u64,
     attempt: u32,
+    /// `Some(seed)` spreads each delay deterministically; `None` is
+    /// the exact exponential schedule.
+    jitter_seed: Option<u64>,
 }
 
 impl Backoff {
@@ -51,6 +60,18 @@ impl Backoff {
             base_ms: base_ms.max(1),
             max_ms: max_ms.max(base_ms.max(1)),
             attempt: 0,
+            jitter_seed: None,
+        }
+    }
+
+    /// Like [`new`](Backoff::new), but each delay is jittered into
+    /// `[¾d, 5⁄4d]` (capped at `max_ms`) by an FNV-1a hash of `seed`
+    /// and the restart counter. Two shards seeded differently restart
+    /// out of lockstep; the same shard replays the same schedule.
+    pub fn with_jitter(base_ms: u64, max_ms: u64, seed: u64) -> Backoff {
+        Backoff {
+            jitter_seed: Some(seed),
+            ..Backoff::new(base_ms, max_ms)
         }
     }
 
@@ -63,10 +84,25 @@ impl Backoff {
 
     /// The delay `next_delay_ms` would return, without advancing.
     pub fn peek_delay_ms(&self) -> u64 {
-        self.base_ms
+        let exact = self
+            .base_ms
             .checked_shl(self.attempt)
             .unwrap_or(self.max_ms)
-            .min(self.max_ms)
+            .min(self.max_ms);
+        let Some(seed) = self.jitter_seed else {
+            return exact;
+        };
+        // Deterministic spread: hash (seed, attempt) into [¾d, 5⁄4d].
+        // The hash depends only on the seed and the restart counter, so
+        // a replayed supervisor reproduces its delays exactly.
+        let mut keyed = [0u8; 12];
+        keyed[..8].copy_from_slice(&seed.to_le_bytes());
+        keyed[8..].copy_from_slice(&self.attempt.to_le_bytes());
+        let hash = hbmd_obs::manifest::fnv1a_64(&keyed);
+        let span = exact / 2;
+        let low = exact - exact / 4;
+        let offset = if span == 0 { 0 } else { hash % (span + 1) };
+        low.saturating_add(offset).min(self.max_ms).max(1)
     }
 
     /// Restart attempts taken since construction or the last reset.
@@ -220,6 +256,38 @@ mod tests {
         }
         // Shift overflow must saturate at max, not wrap or panic.
         assert_eq!(b.peek_delay_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::with_jitter(100, 1600, seed);
+            (0..7).map(|_| b.next_delay_ms()).collect()
+        };
+        // Same seed → byte-identical schedule (replayable recovery).
+        assert_eq!(schedule(3), schedule(3));
+        // Every jittered delay stays within [¾d, 5⁄4d] ∩ [1, max].
+        let mut exact = Backoff::new(100, 1600);
+        for (i, delay) in schedule(3).iter().enumerate() {
+            let d = exact.next_delay_ms();
+            assert!(
+                *delay >= d - d / 4 && *delay <= (d + d / 2).min(1600),
+                "attempt {i}: jittered {delay} outside [{}, {}]",
+                d - d / 4,
+                (d + d / 2).min(1600)
+            );
+        }
+        // Different seeds (shards) must not restart in lockstep.
+        assert_ne!(schedule(0), schedule(1));
+    }
+
+    #[test]
+    fn jittered_backoff_reset_replays_the_schedule() {
+        let mut b = Backoff::with_jitter(50, 800, 42);
+        let first: Vec<u64> = (0..5).map(|_| b.next_delay_ms()).collect();
+        b.reset();
+        let second: Vec<u64> = (0..5).map(|_| b.next_delay_ms()).collect();
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!     registry: registry.clone(),
 //!     manifest_json: "{}".to_owned(),
 //!     health: None,
+//!     fleet: None,
 //! })?;
 //!
 //! let mut stream = std::net::TcpStream::connect(server.local_addr())?;
@@ -43,7 +44,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::health::Health;
+use crate::health::{FleetHealth, Health};
 use crate::metrics::Registry;
 use crate::prom;
 
@@ -59,6 +60,10 @@ pub struct ServeContext {
     /// mirrors `/healthz` (an unsupervised exposition is ready as soon
     /// as it binds).
     pub health: Option<Arc<Health>>,
+    /// Sharded fleet health; when set it takes precedence over
+    /// `health` and `/readyz` reports quorum readiness plus one line
+    /// per shard.
+    pub fleet: Option<Arc<FleetHealth>>,
 }
 
 impl std::fmt::Debug for ServeContext {
@@ -225,24 +230,57 @@ fn route(request: &Request, context: &ServeContext) -> (&'static str, &'static s
             prom::render(&context.registry.snapshot()),
         ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
-        "/readyz" => match &context.health {
-            // Unsupervised expositions are ready by construction.
-            None => ("200 OK", "text/plain; charset=utf-8", "ready\n".to_owned()),
-            Some(health) => {
-                let state = health.state();
-                let body = format!(
-                    "{}\nrestarts {}\ntrips {}\n",
-                    state,
-                    health.restarts(),
-                    health.trips()
+        "/readyz" => {
+            match (&context.fleet, &context.health) {
+                (Some(fleet), _) => {
+                    // Quorum readiness plus one line per shard — the
+                    // bulkhead view: a restarting shard is visible without
+                    // flipping the fleet out of the load balancer.
+                    let mut body =
+                        format!(
+                    "{}\nrestarts {}\ntrips {}\nshards {} ready {}\nquarantined {}\nshed {}\n",
+                    if fleet.is_ready() { "ready" } else { "degraded" },
+                    fleet.restarts(),
+                    fleet.trips(),
+                    fleet.shards(),
+                    fleet.ready_shards(),
+                    fleet.quarantined(),
+                    fleet.shed(),
                 );
-                if health.is_ready() {
-                    ("200 OK", "text/plain; charset=utf-8", body)
-                } else {
-                    ("503 Service Unavailable", "text/plain; charset=utf-8", body)
+                    for shard in 0..fleet.shards() {
+                        let health = fleet.shard(shard);
+                        body.push_str(&format!(
+                            "shard {} {} restarts {} trips {}\n",
+                            shard,
+                            health.state(),
+                            health.restarts(),
+                            health.trips()
+                        ));
+                    }
+                    if fleet.is_ready() {
+                        ("200 OK", "text/plain; charset=utf-8", body)
+                    } else {
+                        ("503 Service Unavailable", "text/plain; charset=utf-8", body)
+                    }
+                }
+                // Unsupervised expositions are ready by construction.
+                (None, None) => ("200 OK", "text/plain; charset=utf-8", "ready\n".to_owned()),
+                (None, Some(health)) => {
+                    let state = health.state();
+                    let body = format!(
+                        "{}\nrestarts {}\ntrips {}\n",
+                        state,
+                        health.restarts(),
+                        health.trips()
+                    );
+                    if health.is_ready() {
+                        ("200 OK", "text/plain; charset=utf-8", body)
+                    } else {
+                        ("503 Service Unavailable", "text/plain; charset=utf-8", body)
+                    }
                 }
             }
-        },
+        }
         "/manifest" => (
             "200 OK",
             "application/json; charset=utf-8",
@@ -296,6 +334,7 @@ mod tests {
                 registry,
                 manifest_json: "{\"tool\": \"test\"}".to_owned(),
                 health: None,
+                fleet: None,
             },
         )
         .expect("bind ephemeral");
@@ -330,6 +369,7 @@ mod tests {
                 registry: Arc::new(Registry::new()),
                 manifest_json: "{}".to_owned(),
                 health: None,
+                fleet: None,
             },
         )
         .expect("bind");
@@ -348,6 +388,7 @@ mod tests {
                 registry: Arc::new(Registry::new()),
                 manifest_json: "{}".to_owned(),
                 health: Some(Arc::clone(&health)),
+                fleet: None,
             },
         )
         .expect("bind");
@@ -376,6 +417,42 @@ mod tests {
     }
 
     #[test]
+    fn readyz_reports_per_shard_fleet_state() {
+        let fleet = Arc::new(crate::health::FleetHealth::new(3));
+        let server = serve(
+            "127.0.0.1:0",
+            ServeContext {
+                registry: Arc::new(Registry::new()),
+                manifest_json: "{}".to_owned(),
+                health: None,
+                fleet: Some(Arc::clone(&fleet)),
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        // All shards starting → no quorum → 503.
+        let starting = get(addr, "GET /readyz HTTP/1.0\r\n\r\n");
+        assert!(starting.starts_with("HTTP/1.0 503"));
+        assert!(starting.contains("shards 3 ready 0"));
+
+        // Two of three ready is a strict majority, even with the third
+        // shard restarting — the bulkhead keeps the fleet in rotation.
+        fleet.shard(0).set_state(crate::health::ServiceState::Ready);
+        fleet.shard(1).set_state(crate::health::ServiceState::Ready);
+        fleet
+            .shard(2)
+            .set_state(crate::health::ServiceState::Restarting);
+        fleet.shard(2).record_restart();
+        fleet.record_quarantine();
+        let ready = get(addr, "GET /readyz HTTP/1.0\r\n\r\n");
+        assert!(ready.starts_with("HTTP/1.0 200"), "got: {ready}");
+        assert!(ready.contains("shards 3 ready 2"));
+        assert!(ready.contains("shard 2 restarting restarts 1"));
+        assert!(ready.contains("quarantined 1"));
+    }
+
+    #[test]
     fn readyz_without_health_mirrors_healthz() {
         let server = serve(
             "127.0.0.1:0",
@@ -383,6 +460,7 @@ mod tests {
                 registry: Arc::new(Registry::new()),
                 manifest_json: "{}".to_owned(),
                 health: None,
+                fleet: None,
             },
         )
         .expect("bind");
@@ -398,6 +476,7 @@ mod tests {
                 registry: Arc::new(Registry::new()),
                 manifest_json: "{}".to_owned(),
                 health: None,
+                fleet: None,
             },
         )
         .expect("bind");
@@ -426,6 +505,7 @@ mod tests {
                 registry: Arc::new(Registry::new()),
                 manifest_json: "{}".to_owned(),
                 health: None,
+                fleet: None,
             },
         )
         .expect("bind");

@@ -55,6 +55,7 @@ fn metrics_endpoint_parses_line_by_line_over_tcp() {
             registry: Arc::new(deterministic_registry()),
             manifest_json: "{\"tool\": \"exposition-test\"}".to_owned(),
             health: None,
+            fleet: None,
         },
     )
     .expect("bind ephemeral port");
