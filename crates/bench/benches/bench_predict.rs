@@ -1,8 +1,11 @@
 //! Microbenchmark: per-window inference latency of every trained
 //! classifier — the software analogue of the Figure 15 hardware latency
-//! comparison (the ordering should rhyme: rules fast, kNN slow).
+//! comparison (the ordering should rhyme: rules fast, kNN slow) — plus
+//! the compiled flat evaluators: single-window latency against the
+//! pointer-walking interpreters (the ≥10x target) and batched columnar
+//! throughput over the whole test split.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hbmd_bench::config_at_scale;
 use hbmd_core::{to_binary_dataset, ClassifierKind, TrainedModel};
 use hbmd_ml::{Classifier, Dataset};
@@ -43,5 +46,73 @@ fn bench_prediction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prediction);
+/// Compiled vs interpreted: the flat evaluators against the
+/// pointer-walkers, single-window (`compiled/window` vs
+/// `predict/window`) and batched over the full dataset
+/// (`compiled/batch` vs `interpreted/batch`).
+fn bench_compiled(c: &mut Criterion) {
+    let data = training_data();
+    let probe: Vec<f64> = data.rows()[0].to_vec();
+    let rows = data.rows();
+
+    let mut suite: Vec<TrainedModel> = Vec::new();
+    for kind in [
+        ClassifierKind::OneR,
+        ClassifierKind::JRip,
+        ClassifierKind::J48,
+        ClassifierKind::RepTree,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::Bagging,
+        ClassifierKind::RandomForest,
+    ] {
+        let mut model = kind.instantiate();
+        model.fit(&data).expect("fit");
+        suite.push(model);
+    }
+
+    let compiled: Vec<_> = suite
+        .iter()
+        .map(|model| {
+            (
+                model.name().to_owned(),
+                model.compile().expect("fitted models compile"),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("compiled");
+    for (name, compiled) in &compiled {
+        group.bench_with_input(BenchmarkId::new("window", name), compiled, |b, compiled| {
+            b.iter(|| compiled.predict(&probe));
+        });
+    }
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    for (name, compiled) in &compiled {
+        group.bench_with_input(BenchmarkId::new("batch", name), compiled, |b, compiled| {
+            b.iter(|| compiled.predict_batch(rows));
+        });
+    }
+    group.finish();
+
+    // The interpreted per-row baseline the batch numbers are read
+    // against (same row count, pointer-walking `predict`).
+    let mut group = c.benchmark_group("interpreted");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    for model in &suite {
+        group.bench_with_input(
+            BenchmarkId::new("batch", model.name()),
+            model,
+            |b, model| {
+                b.iter(|| {
+                    rows.iter()
+                        .map(|row| model.predict(row))
+                        .collect::<Vec<_>>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_compiled);
 criterion_main!(benches);

@@ -76,7 +76,7 @@ use hbmd_core::{
 };
 use hbmd_fpga::SynthConfig;
 use hbmd_malware::AppClass;
-use hbmd_ml::Evaluation;
+use hbmd_ml::{Classifier, Evaluation};
 use hbmd_obs::health::FleetHealth;
 use hbmd_obs::manifest::RunManifest;
 use hbmd_obs::trace::Trace;
@@ -311,7 +311,7 @@ fn print_usage() {
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
-         \x20            roc detect-latency robustness fleet emit-hdl all"
+         \x20            roc detect-latency robustness fleet predict emit-hdl all"
     );
 }
 
@@ -1184,6 +1184,7 @@ fn run(
 ) -> Result<Option<f64>, Box<dyn std::error::Error>> {
     match experiment {
         "fleet" => return Ok(Some(fleet_phase(config, cache)?)),
+        "predict" => return Ok(Some(predict_phase(config, cache)?)),
         "table1" => table1(config, cache),
         "fig6" => fig6(config, cache),
         "table2" => table2(config, cache)?,
@@ -1260,6 +1261,70 @@ fn fleet_phase(
         report.windows_per_sec, shards, report.wall_ms
     );
     Ok(report.windows_per_sec)
+}
+
+/// The `predict` bench phase: fit every compilable scheme, lower it
+/// through the compilation pass, and report the compiled evaluator's
+/// footprint (deterministic: stdout) plus its batched columnar
+/// throughput (machine-dependent: stderr and `BENCH_repro.json`). The
+/// returned rate is the fastest per-scheme batch throughput, so `repro
+/// bench-diff` gates compiled prediction speed alongside wall-clock.
+fn predict_phase(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    println!("## Predict: compiled evaluator footprint and batched throughput");
+    let collection = cache.collect(config)?;
+    let data = to_binary_dataset(&collection.dataset);
+    let (train, test) = data.split(0.7, config.split_seed);
+    if test.is_empty() {
+        return Err("predict phase needs a non-empty test split".into());
+    }
+
+    let kinds = [
+        ClassifierKind::OneR,
+        ClassifierKind::JRip,
+        ClassifierKind::J48,
+        ClassifierKind::RepTree,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::Bagging,
+        ClassifierKind::RandomForest,
+    ];
+    let mut table = TextTable::new(vec!["scheme", "accuracy %", "nodes", "bytes"]);
+    let mut best = 0.0f64;
+    for kind in kinds {
+        let mut model = kind.instantiate();
+        model.fit(&train)?;
+        let accuracy = Evaluation::of(&model, &test).accuracy();
+        let compiled = model
+            .compile()
+            .ok_or_else(|| format!("{kind} did not compile"))?;
+        table.row(vec![
+            kind.name().to_owned(),
+            format!("{:.2}", accuracy * 100.0),
+            compiled.node_count().to_string(),
+            compiled.byte_size().to_string(),
+        ]);
+
+        // A fixed window budget (not a fixed duration) so the
+        // wall-clock gate sees comparable work at any machine speed.
+        let rows = test.rows();
+        let target = 200_000usize;
+        let mut predicted = 0usize;
+        let started = Instant::now();
+        while predicted < target {
+            predicted += compiled.predict_batch(rows).len();
+        }
+        let rate = predicted as f64 / started.elapsed().as_secs_f64();
+        eprintln!(
+            "predict: {} {:.3e} windows/sec compiled batch ({predicted} windows)",
+            kind.name(),
+            rate,
+        );
+        best = best.max(rate);
+    }
+    print!("{}", table.render());
+    Ok(best)
 }
 
 fn table1(config: &ExperimentConfig, cache: &CollectCache) {

@@ -875,6 +875,12 @@ fn shed_with_priority(
     true
 }
 
+/// Most messages a worker drains from its queue per blocking receive:
+/// one `recv` park/unpark then up to this many windows classified
+/// back-to-back while the producer refills, instead of a channel
+/// round-trip per window.
+const DRAIN_BATCH: usize = 32;
+
 fn shard_worker(
     ctx: &ShardCtx,
     mut cells: Vec<StreamCell>,
@@ -882,129 +888,142 @@ fn shard_worker(
     shared: &mut ShardShared,
 ) -> WorkerExit {
     let mut interrupted = false;
-    while let Ok((slot, cursor, window)) = rx.recv() {
-        if ctx
-            .cfg
-            .stop
-            .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::SeqCst))
-        {
-            interrupted = true;
-            break;
+    let mut batch: Vec<(usize, u64, FeatureVector)> = Vec::with_capacity(DRAIN_BATCH);
+    'drain: while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first);
+        while batch.len() < DRAIN_BATCH {
+            match rx.try_recv() {
+                Ok(message) => batch.push(message),
+                Err(_) => break,
+            }
         }
-        // Injected fault: panic exactly once per scheduled cursor, so
-        // the post-restart replay of the same cursor runs clean.
-        if shared.panic_at.remove(&cursor) {
-            panic!(
-                "chaos: injected worker panic on shard {} at window {cursor}",
-                ctx.shard
-            );
-        }
-        let cell = &mut cells[slot];
-        if cursor < cell.cursor {
-            // Replay below this stream's resume point (another stream
-            // on the shard restarted further behind).
-            continue;
-        }
-        let window = if ctx
-            .cfg
-            .nan_streams
-            .iter()
-            .any(|&(s, from, to)| s == cell.stream && cursor >= from && cursor < to)
-        {
-            FeatureVector::from_slice(&[f64::NAN; HpcEvent::COUNT]).expect("full-width NaN vector")
-        } else {
-            window
-        };
+        for (slot, cursor, window) in batch.drain(..) {
+            if ctx
+                .cfg
+                .stop
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::SeqCst))
+            {
+                interrupted = true;
+                break 'drain;
+            }
+            // Injected fault: panic exactly once per scheduled cursor, so
+            // the post-restart replay of the same cursor runs clean.
+            if shared.panic_at.remove(&cursor) {
+                panic!(
+                    "chaos: injected worker panic on shard {} at window {cursor}",
+                    ctx.shard
+                );
+            }
+            let cell = &mut cells[slot];
+            if cursor < cell.cursor {
+                // Replay below this stream's resume point (another stream
+                // on the shard restarted further behind).
+                continue;
+            }
+            let window = if ctx
+                .cfg
+                .nan_streams
+                .iter()
+                .any(|&(s, from, to)| s == cell.stream && cursor >= from && cursor < to)
+            {
+                FeatureVector::from_slice(&[f64::NAN; HpcEvent::COUNT])
+                    .expect("full-width NaN vector")
+            } else {
+                window
+            };
 
-        if shared.breaker.state() == BreakerState::Open {
-            // Shard-degraded: don't feed any vote ring, burn a
-            // cooldown tick, account the skipped window.
-            shared.degraded += 1;
-            let before = shared.breaker.state();
-            let after = shared.breaker.record(false);
-            if before == BreakerState::Open && after == BreakerState::HalfOpen {
-                set_shard_state(ctx, ServiceState::Ready);
-            }
-        } else if cell.health.is_quarantined() {
-            // Quarantined stream: skip classification, burn one
-            // quarantine tick; the shard's breaker never sees it.
-            shared.quarantine_skipped += 1;
-            cell.health.record(false);
-            ctx.hot[slot].store(
-                cell.health.standing() != StreamStanding::Active,
-                Ordering::Relaxed,
-            );
-        } else {
-            let verdict = cell.state.observe(&ctx.detector, &window);
-            let faulted = cell.state.last_window_abstained();
-            let before_standing = cell.health.standing();
-            let after_standing = cell.health.record(faulted);
-            if after_standing == StreamStanding::Quarantined
-                && before_standing != StreamStanding::Quarantined
-            {
-                shared.quarantines += 1;
-                hbmd_obs::incr("fleet.quarantines");
-                if let Some(fleet) = &ctx.cfg.fleet_health {
-                    fleet.record_quarantine();
+            if shared.breaker.state() == BreakerState::Open {
+                // Shard-degraded: don't feed any vote ring, burn a
+                // cooldown tick, account the skipped window.
+                shared.degraded += 1;
+                let before = shared.breaker.state();
+                let after = shared.breaker.record(false);
+                if before == BreakerState::Open && after == BreakerState::HalfOpen {
+                    set_shard_state(ctx, ServiceState::Ready);
                 }
-            } else if before_standing == StreamStanding::Probation
-                && after_standing == StreamStanding::Active
-            {
-                shared.readmissions += 1;
-                hbmd_obs::incr("fleet.readmissions");
-                if let Some(fleet) = &ctx.cfg.fleet_health {
-                    fleet.record_readmission();
-                }
-            }
-            let before = shared.breaker.state();
-            let after = shared.breaker.record(faulted);
-            if after == BreakerState::Open && before != BreakerState::Open {
-                if let Some(fleet) = &ctx.cfg.fleet_health {
-                    fleet.shard(ctx.shard).record_trip();
-                }
-                hbmd_obs::incr("breaker.trips");
-                set_shard_state(ctx, ServiceState::Degraded);
-            }
-            let alarmed = matches!(verdict, OnlineVerdict::Alarm { .. });
-            ctx.hot[slot].store(
-                alarmed || after_standing != StreamStanding::Active,
-                Ordering::Relaxed,
-            );
-            if let Some(sequence) = shared.verdicts.get_mut(slot) {
-                if let Some(entry) = sequence.get_mut(usize::try_from(cursor).unwrap_or(usize::MAX))
+            } else if cell.health.is_quarantined() {
+                // Quarantined stream: skip classification, burn one
+                // quarantine tick; the shard's breaker never sees it.
+                shared.quarantine_skipped += 1;
+                cell.health.record(false);
+                ctx.hot[slot].store(
+                    cell.health.standing() != StreamStanding::Active,
+                    Ordering::Relaxed,
+                );
+            } else {
+                let verdict = cell.state.observe(&ctx.detector, &window);
+                let faulted = cell.state.last_window_abstained();
+                let before_standing = cell.health.standing();
+                let after_standing = cell.health.record(faulted);
+                if after_standing == StreamStanding::Quarantined
+                    && before_standing != StreamStanding::Quarantined
                 {
-                    *entry = Some(verdict);
+                    shared.quarantines += 1;
+                    hbmd_obs::incr("fleet.quarantines");
+                    if let Some(fleet) = &ctx.cfg.fleet_health {
+                        fleet.record_quarantine();
+                    }
+                } else if before_standing == StreamStanding::Probation
+                    && after_standing == StreamStanding::Active
+                {
+                    shared.readmissions += 1;
+                    hbmd_obs::incr("fleet.readmissions");
+                    if let Some(fleet) = &ctx.cfg.fleet_health {
+                        fleet.record_readmission();
+                    }
                 }
-            }
-            if ctx.cfg.verbose && slot == 0 {
-                if let OnlineVerdict::Alarm { family, votes, of } = verdict {
-                    if cursor.is_multiple_of(16) {
-                        eprintln!(
+                let before = shared.breaker.state();
+                let after = shared.breaker.record(faulted);
+                if after == BreakerState::Open && before != BreakerState::Open {
+                    if let Some(fleet) = &ctx.cfg.fleet_health {
+                        fleet.shard(ctx.shard).record_trip();
+                    }
+                    hbmd_obs::incr("breaker.trips");
+                    set_shard_state(ctx, ServiceState::Degraded);
+                }
+                let alarmed = matches!(verdict, OnlineVerdict::Alarm { .. });
+                ctx.hot[slot].store(
+                    alarmed || after_standing != StreamStanding::Active,
+                    Ordering::Relaxed,
+                );
+                if let Some(sequence) = shared.verdicts.get_mut(slot) {
+                    if let Some(entry) =
+                        sequence.get_mut(usize::try_from(cursor).unwrap_or(usize::MAX))
+                    {
+                        *entry = Some(verdict);
+                    }
+                }
+                if ctx.cfg.verbose && slot == 0 {
+                    if let OnlineVerdict::Alarm { family, votes, of } = verdict {
+                        if cursor.is_multiple_of(16) {
+                            eprintln!(
                             "serve: shard {} stream {} ALARM ({family}, {votes}/{of}) at window {cursor}",
                             ctx.shard, cell.stream
                         );
+                        }
                     }
                 }
             }
-        }
 
-        cell.cursor = cursor + 1;
-        shared.cursors[slot] = shared.cursors[slot].max(cursor + 1);
-        shared.processed += 1;
-        shared.since_checkpoint += 1;
-        hbmd_obs::incr("fleet.windows");
-        let total = ctx.fleet_processed.fetch_add(1, Ordering::Relaxed) + 1;
-        if total.is_multiple_of(4096) {
-            let elapsed = ctx.started.elapsed().as_secs_f64();
-            if elapsed > 0.0 {
-                hbmd_obs::gauge_set("fleet.windows_per_sec", (total as f64 / elapsed) as i64);
+            cell.cursor = cursor + 1;
+            shared.cursors[slot] = shared.cursors[slot].max(cursor + 1);
+            shared.processed += 1;
+            shared.since_checkpoint += 1;
+            hbmd_obs::incr("fleet.windows");
+            let total = ctx.fleet_processed.fetch_add(1, Ordering::Relaxed) + 1;
+            if total.is_multiple_of(4096) {
+                let elapsed = ctx.started.elapsed().as_secs_f64();
+                if elapsed > 0.0 {
+                    hbmd_obs::gauge_set("fleet.windows_per_sec", (total as f64 / elapsed) as i64);
+                }
             }
-        }
-        if ctx.cfg.checkpoint_every > 0 && shared.since_checkpoint >= ctx.cfg.checkpoint_every {
-            shared.since_checkpoint = 0;
-            if let Some(checkpointer) = &ctx.checkpointer {
-                checkpointer.commit(sections_of(&cells));
+            if ctx.cfg.checkpoint_every > 0 && shared.since_checkpoint >= ctx.cfg.checkpoint_every {
+                shared.since_checkpoint = 0;
+                if let Some(checkpointer) = &ctx.checkpointer {
+                    checkpointer.commit(sections_of(&cells));
+                }
             }
         }
     }

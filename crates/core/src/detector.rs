@@ -1,7 +1,10 @@
-use hbmd_events::FeatureVector;
+use std::sync::Arc;
+
+use hbmd_events::{FeatureVector, HpcEvent};
 use hbmd_fpga::{synthesize, HwReport, SynthConfig};
 use hbmd_malware::AppClass;
-use hbmd_ml::{Classifier, Evaluation};
+use hbmd_ml::{Classifier, CompiledModel, Evaluation};
+use hbmd_obs::{Counter, Histogram, Timer};
 use hbmd_perf::HpcDataset;
 use serde::{Deserialize, Serialize};
 
@@ -163,19 +166,41 @@ impl DetectorBuilder {
         let evaluation = Evaluation::of(&model, &test);
         hbmd_obs::counter_with("detectors_trained", &[("scheme", scheme)]).incr();
 
-        Ok(Detector {
+        Ok(Detector::assemble(
             model,
             mode,
-            feature_indices: indices,
+            indices,
             evaluation,
-            sanitizer: Sanitizer::fit(&train_hpc),
-        })
+            Sanitizer::fit(&train_hpc),
+        ))
     }
 }
 
 impl Default for DetectorBuilder {
     fn default() -> DetectorBuilder {
         DetectorBuilder::new()
+    }
+}
+
+/// Per-window telemetry handles, resolved once at detector
+/// construction so the classify hot loop skips the label allocation
+/// and registry lookup `timer_with`/`counter_with` pay per call.
+#[derive(Debug, Clone)]
+struct ClassifyMetrics {
+    classify_ns: Arc<Histogram>,
+    verdict_benign: Arc<Counter>,
+    verdict_malware: Arc<Counter>,
+    verdict_abstain: Arc<Counter>,
+}
+
+impl ClassifyMetrics {
+    fn resolve(scheme: &str) -> ClassifyMetrics {
+        ClassifyMetrics {
+            classify_ns: hbmd_obs::timing_with("classify_ns", &[("scheme", scheme)]),
+            verdict_benign: hbmd_obs::counter_with("verdict", &[("verdict", "benign")]),
+            verdict_malware: hbmd_obs::counter_with("verdict", &[("verdict", "malware")]),
+            verdict_abstain: hbmd_obs::counter_with("verdict", &[("verdict", "abstain")]),
+        }
     }
 }
 
@@ -189,9 +214,37 @@ pub struct Detector {
     feature_indices: Vec<usize>,
     evaluation: Evaluation,
     sanitizer: Sanitizer,
+    /// The model's flat branchless form (`None` for schemes without
+    /// one) — derived from `model` at construction / restore, never
+    /// snapshotted.
+    compiled: Option<CompiledModel>,
+    /// Pre-resolved telemetry handles — derived state like `compiled`.
+    metrics: ClassifyMetrics,
 }
 
 impl Detector {
+    /// Build the detector plus its derived caches (compiled evaluator,
+    /// telemetry handles) — the single funnel used by both training
+    /// and snapshot restore.
+    fn assemble(
+        model: TrainedModel,
+        mode: DetectorMode,
+        feature_indices: Vec<usize>,
+        evaluation: Evaluation,
+        sanitizer: Sanitizer,
+    ) -> Detector {
+        let compiled = model.compile();
+        let metrics = ClassifyMetrics::resolve(model.kind().name());
+        Detector {
+            model,
+            mode,
+            feature_indices,
+            evaluation,
+            sanitizer,
+            compiled,
+            metrics,
+        }
+    }
     /// The detection granularity.
     pub fn mode(&self) -> DetectorMode {
         self.mode
@@ -200,6 +253,12 @@ impl Detector {
     /// The trained model.
     pub fn model(&self) -> &TrainedModel {
         &self.model
+    }
+
+    /// The model's flat compiled evaluator, cached at construction
+    /// (`None` for schemes without a flat form).
+    pub fn compiled(&self) -> Option<&CompiledModel> {
+        self.compiled.as_ref()
     }
 
     /// The feature columns consumed, in model input order.
@@ -229,7 +288,7 @@ impl Detector {
                 self.classify(&features)
             }
             SanitizeOutcome::Unusable { .. } => {
-                hbmd_obs::counter_with("verdict", &[("verdict", "abstain")]).incr();
+                self.metrics.verdict_abstain.incr();
                 Verdict::Abstain
             }
         }
@@ -237,13 +296,23 @@ impl Detector {
 
     /// Classify one sampling window.
     pub fn classify(&self, window: &FeatureVector) -> Verdict {
-        let latency = hbmd_obs::timer_with("classify_ns", &[("scheme", self.model.kind().name())]);
-        let row: Vec<f64> = self
-            .feature_indices
-            .iter()
-            .map(|&i| window.as_slice()[i])
-            .collect();
-        let label = self.model.predict(&row);
+        let latency = Timer::against(Arc::clone(&self.metrics.classify_ns));
+        let width = self.feature_indices.len();
+        let mut stack = [0.0f64; HpcEvent::COUNT];
+        let mut heap;
+        let row: &mut [f64] = if width <= stack.len() {
+            &mut stack[..width]
+        } else {
+            heap = vec![0.0f64; width];
+            &mut heap
+        };
+        for (slot, &i) in row.iter_mut().zip(&self.feature_indices) {
+            *slot = window.as_slice()[i];
+        }
+        let label = match &self.compiled {
+            Some(compiled) => compiled.predict(row),
+            None => self.model.predict(row),
+        };
         latency.stop();
         let verdict = match self.mode {
             DetectorMode::Binary => {
@@ -259,12 +328,11 @@ impl Detector {
                 Some(family) => Verdict::Malware(family),
             },
         };
-        let outcome = match verdict {
-            Verdict::Benign => "benign",
-            Verdict::Malware(_) => "malware",
-            Verdict::Abstain => "abstain",
-        };
-        hbmd_obs::counter_with("verdict", &[("verdict", outcome)]).incr();
+        match verdict {
+            Verdict::Benign => self.metrics.verdict_benign.incr(),
+            Verdict::Malware(_) => self.metrics.verdict_malware.incr(),
+            Verdict::Abstain => self.metrics.verdict_abstain.incr(),
+        }
         verdict
     }
 
@@ -332,13 +400,21 @@ impl Snap for Detector {
         self.sanitizer.snap(w);
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
-        Ok(Detector {
-            model: Snap::unsnap(r)?,
-            mode: Snap::unsnap(r)?,
-            feature_indices: Snap::unsnap(r)?,
-            evaluation: Snap::unsnap(r)?,
-            sanitizer: Snap::unsnap(r)?,
-        })
+        // Field order mirrors `snap`; the derived caches (compiled
+        // evaluator, telemetry handles) are rebuilt, not decoded, so
+        // snapshot bytes are unchanged by their existence.
+        let model = Snap::unsnap(r)?;
+        let mode = Snap::unsnap(r)?;
+        let feature_indices = Snap::unsnap(r)?;
+        let evaluation = Snap::unsnap(r)?;
+        let sanitizer = Snap::unsnap(r)?;
+        Ok(Detector::assemble(
+            model,
+            mode,
+            feature_indices,
+            evaluation,
+            sanitizer,
+        ))
     }
 }
 

@@ -2,8 +2,8 @@ use std::fmt;
 
 use hbmd_fpga::{DatapathError, DatapathSpec, Stage, ToDatapath};
 use hbmd_ml::{
-    AdaBoostM1, Bagging, Classifier, Dataset, DecisionStump, Ibk, JRip, LinearSvm, MlError, Mlp,
-    Mlr, NaiveBayes, OneR, RandomForest, RepTree, ZeroR, J48,
+    AdaBoostM1, Bagging, Classifier, CompiledModel, Dataset, DecisionStump, Ibk, JRip, LinearSvm,
+    MlError, Mlp, Mlr, NaiveBayes, OneR, RandomForest, RepTree, RowsView, ZeroR, J48,
 };
 use serde::{Deserialize, Serialize};
 
@@ -241,6 +241,31 @@ impl TrainedModel {
             TrainedModel::RandomForest(m) => m.datapath(),
         }
     }
+
+    /// Lower the fitted model into its flat branchless evaluator
+    /// ([`hbmd_ml::compiled`]).
+    ///
+    /// Returns `None` for the schemes with no flat form (NaiveBayes,
+    /// Logistic, Mlp, Svm, Ibk) and for unfitted models; callers fall
+    /// back to the interpreted predictor.
+    pub fn compile(&self) -> Option<CompiledModel> {
+        match self {
+            TrainedModel::ZeroR(m) => m.compile().map(CompiledModel::Tree),
+            TrainedModel::OneR(m) => m.compile().map(CompiledModel::Rules),
+            TrainedModel::DecisionStump(m) => m.compile().map(CompiledModel::Tree),
+            TrainedModel::JRip(m) => m.compile().map(CompiledModel::Rules),
+            TrainedModel::J48(m) => m.compile().map(CompiledModel::Tree),
+            TrainedModel::RepTree(m) => m.compile().map(CompiledModel::Tree),
+            TrainedModel::AdaBoost(m) => m.compile().map(CompiledModel::Ensemble),
+            TrainedModel::Bagging(m) => m.compile().map(CompiledModel::Forest),
+            TrainedModel::RandomForest(m) => m.compile().map(CompiledModel::Forest),
+            TrainedModel::NaiveBayes(_)
+            | TrainedModel::Logistic(_)
+            | TrainedModel::Mlp(_)
+            | TrainedModel::Svm(_)
+            | TrainedModel::Ibk(_) => None,
+        }
+    }
 }
 
 impl Classifier for TrainedModel {
@@ -254,6 +279,13 @@ impl Classifier for TrainedModel {
 
     fn name(&self) -> &str {
         self.kind().name()
+    }
+
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
+        match self.compile() {
+            Some(compiled) => compiled.predict_batch(rows),
+            None => delegate!(self, m => m.predict_batch(rows)),
+        }
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::data::{Dataset, MlError};
+use crate::data::{Dataset, MlError, RowsView};
 
 /// A trainable classifier over numeric features and a nominal class —
 /// the WEKA `Classifier` contract.
@@ -42,8 +42,14 @@ pub trait Classifier {
     /// Human-readable classifier name (WEKA scheme style, e.g. `"J48"`).
     fn name(&self) -> &str;
 
-    /// Predict a batch of instances.
-    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+    /// Predict a batch of instances from a columnar row view
+    /// ([`Dataset::rows`] or [`RowsView::new`]) without allocating
+    /// per-row `Vec`s.
+    ///
+    /// The default delegates to [`predict`](Classifier::predict) per
+    /// row; tree/rule/ensemble schemes override it to evaluate a flat
+    /// compiled form ([`crate::compiled`]) over the whole batch.
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
         rows.iter().map(|r| self.predict(r)).collect()
     }
 }
@@ -83,7 +89,7 @@ mod tests {
         data.push(vec![2.0], 0).expect("row");
         let mut zr = ZeroR::new();
         zr.fit(&data).expect("fit");
-        let out = zr.predict_batch(&[vec![0.0], vec![5.0]]);
+        let out = zr.predict_batch(RowsView::new(&[0.0, 5.0], 1));
         assert_eq!(out, vec![1, 1]);
     }
 }

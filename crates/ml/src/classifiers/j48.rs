@@ -1,6 +1,6 @@
 use crate::classifier::Classifier;
 use crate::classifiers::split::{best_split, histogram, majority};
-use crate::data::{Dataset, MlError};
+use crate::data::{Dataset, MlError, RowsView};
 
 /// WEKA `J48`: the C4.5 decision-tree learner.
 ///
@@ -39,7 +39,7 @@ pub struct J48 {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         class: usize,
         errors: usize,
@@ -54,6 +54,11 @@ enum Node {
 }
 
 impl J48 {
+    /// The fitted tree, for the flat compiler in [`crate::compiled`].
+    pub(crate) fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
+
     /// J48 with WEKA defaults: minimum 2 instances per leaf, pruning
     /// confidence 0.25.
     pub fn new() -> J48 {
@@ -268,6 +273,13 @@ impl Classifier for J48 {
 
     fn name(&self) -> &str {
         "J48"
+    }
+
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
+        match self.compile() {
+            Some(compiled) => compiled.predict_batch(rows),
+            None => rows.iter().map(|r| self.predict(r)).collect(),
+        }
     }
 }
 

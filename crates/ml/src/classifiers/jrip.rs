@@ -3,7 +3,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::classifier::Classifier;
-use crate::data::{Dataset, MlError};
+use crate::data::{Dataset, MlError, RowsView};
 
 /// One numeric test inside a [`Rule`]: `feature <= threshold` or
 /// `feature >= threshold`.
@@ -104,6 +104,11 @@ impl JRip {
             .as_ref()
             .map(|m| m.rules.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// The class predicted when no rule fires (`None` before fit).
+    pub fn default_class(&self) -> Option<usize> {
+        self.model.as_ref().map(|m| m.default_class)
     }
 
     /// Number of rules (0 before fit).
@@ -329,6 +334,13 @@ impl Classifier for JRip {
 
     fn name(&self) -> &str {
         "JRip"
+    }
+
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
+        match self.compile() {
+            Some(compiled) => compiled.predict_batch(rows),
+            None => rows.iter().map(|r| self.predict(r)).collect(),
+        }
     }
 }
 

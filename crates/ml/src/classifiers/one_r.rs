@@ -1,5 +1,5 @@
 use crate::classifier::Classifier;
-use crate::data::{Dataset, MlError};
+use crate::data::{Dataset, MlError, RowsView};
 
 /// WEKA `OneR`: a one-attribute rule learner.
 ///
@@ -35,14 +35,19 @@ pub struct OneR {
 }
 
 #[derive(Debug, Clone)]
-struct OneRModel {
-    feature: usize,
+pub(crate) struct OneRModel {
+    pub(crate) feature: usize,
     /// Ascending bucket upper bounds with the class each bucket
     /// predicts; the final entry is `(f64::INFINITY, class)`.
-    buckets: Vec<(f64, usize)>,
+    pub(crate) buckets: Vec<(f64, usize)>,
 }
 
 impl OneR {
+    /// The fitted rule, for the flat compiler in [`crate::compiled`].
+    pub(crate) fn model(&self) -> Option<&OneRModel> {
+        self.model.as_ref()
+    }
+
     /// OneR with WEKA's default minimum bucket size (6).
     pub fn new() -> OneR {
         OneR {
@@ -194,6 +199,13 @@ impl Classifier for OneR {
 
     fn name(&self) -> &str {
         "OneR"
+    }
+
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
+        match self.compile() {
+            Some(compiled) => compiled.predict_batch(rows),
+            None => rows.iter().map(|r| self.predict(r)).collect(),
+        }
     }
 }
 

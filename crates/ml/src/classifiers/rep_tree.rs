@@ -4,7 +4,7 @@ use rand::SeedableRng;
 
 use crate::classifier::Classifier;
 use crate::classifiers::split::{best_split, histogram, majority};
-use crate::data::{Dataset, MlError};
+use crate::data::{Dataset, MlError, RowsView};
 
 /// WEKA `REPTree`: a fast information-gain tree with reduced-error
 /// pruning.
@@ -37,7 +37,7 @@ pub struct RepTree {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         class: usize,
     },
@@ -50,6 +50,11 @@ enum Node {
 }
 
 impl RepTree {
+    /// The fitted tree, for the flat compiler in [`crate::compiled`].
+    pub(crate) fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
+
     /// REPTree with WEKA defaults (minimum 2 instances per leaf).
     pub fn new() -> RepTree {
         RepTree {
@@ -233,6 +238,13 @@ impl Classifier for RepTree {
 
     fn name(&self) -> &str {
         "REPTree"
+    }
+
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
+        match self.compile() {
+            Some(compiled) => compiled.predict_batch(rows),
+            None => rows.iter().map(|r| self.predict(r)).collect(),
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 use crate::classifier::Classifier;
 use crate::classifiers::split::{best_split, majority};
-use crate::data::{Dataset, MlError};
+use crate::data::{Dataset, MlError, RowsView};
 
 /// WEKA `DecisionStump`: a depth-one decision tree.
 ///
@@ -29,14 +29,19 @@ pub struct DecisionStump {
 }
 
 #[derive(Debug, Clone)]
-struct StumpModel {
-    feature: usize,
-    threshold: f64,
-    left_class: usize,
-    right_class: usize,
+pub(crate) struct StumpModel {
+    pub(crate) feature: usize,
+    pub(crate) threshold: f64,
+    pub(crate) left_class: usize,
+    pub(crate) right_class: usize,
 }
 
 impl DecisionStump {
+    /// The fitted test, for the flat compiler in [`crate::compiled`].
+    pub(crate) fn model(&self) -> Option<&StumpModel> {
+        self.model.as_ref()
+    }
+
     /// A new, untrained stump.
     pub fn new() -> DecisionStump {
         DecisionStump::default()
@@ -92,6 +97,13 @@ impl Classifier for DecisionStump {
 
     fn name(&self) -> &str {
         "DecisionStump"
+    }
+
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
+        match self.compile() {
+            Some(compiled) => compiled.predict_batch(rows),
+            None => rows.iter().map(|r| self.predict(r)).collect(),
+        }
     }
 }
 

@@ -30,6 +30,12 @@ impl ZeroR {
     pub fn new() -> ZeroR {
         ZeroR::default()
     }
+
+    /// The learned majority class, for the flat compiler in
+    /// [`crate::compiled`].
+    pub(crate) fn majority(&self) -> Option<usize> {
+        self.majority
+    }
 }
 
 impl Classifier for ZeroR {

@@ -89,9 +89,31 @@ pub struct RowsView<'a> {
 }
 
 impl<'a> RowsView<'a> {
+    /// A view over `values` interpreted as consecutive rows of
+    /// `width` features each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero or `values.len()` is not a
+    /// multiple of `width`.
+    pub fn new(values: &'a [f64], width: usize) -> RowsView<'a> {
+        assert!(width > 0, "RowsView width must be non-zero");
+        assert_eq!(
+            values.len() % width,
+            0,
+            "RowsView values must be a whole number of rows"
+        );
+        RowsView { values, width }
+    }
+
     /// Number of rows in the view.
     pub fn len(&self) -> usize {
         self.values.len() / self.width
+    }
+
+    /// Number of features per row.
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// `true` when the view has no rows.

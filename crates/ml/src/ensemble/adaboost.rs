@@ -77,6 +77,12 @@ impl<B: Classifier + Clone> AdaBoostM1<B> {
     pub fn member_weights(&self) -> Vec<f64> {
         self.members.iter().map(|&(_, w)| w).collect()
     }
+
+    /// The weighted committee plus class count, for the flat compiler
+    /// in [`crate::compiled`].
+    pub(crate) fn parts(&self) -> (&[(B, f64)], usize) {
+        (&self.members, self.num_classes)
+    }
 }
 
 impl<B: Classifier + Clone> Classifier for AdaBoostM1<B> {

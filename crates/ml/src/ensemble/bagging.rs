@@ -67,6 +67,12 @@ impl<B: Classifier + Clone> Bagging<B> {
     pub fn members(&self) -> &[B] {
         &self.members
     }
+
+    /// Class count seen at fit time, for the flat compiler in
+    /// [`crate::compiled`].
+    pub(crate) fn classes(&self) -> usize {
+        self.num_classes
+    }
 }
 
 impl<B: Classifier + Clone> Classifier for Bagging<B> {

@@ -4,7 +4,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::classifier::Classifier;
 use crate::classifiers::split::{best_split_on_feature, histogram, majority, Split};
-use crate::data::{Dataset, MlError};
+use crate::data::{Dataset, MlError, RowsView};
 
 /// WEKA `RandomForest`: bagged information-gain trees with per-split
 /// feature subsampling (√F features considered at each node).
@@ -37,7 +37,7 @@ pub struct RandomForest {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         class: usize,
     },
@@ -50,6 +50,12 @@ enum Node {
 }
 
 impl RandomForest {
+    /// The fitted trees plus class count, for the flat compiler in
+    /// [`crate::compiled`].
+    pub(crate) fn parts(&self) -> (&[Node], usize) {
+        (&self.trees, self.num_classes)
+    }
+
     /// A forest with `trees` members and WEKA-ish defaults (unpruned
     /// trees, minimum 1 instance per leaf, depth cap 30).
     ///
@@ -208,6 +214,13 @@ impl Classifier for RandomForest {
 
     fn name(&self) -> &str {
         "RandomForest"
+    }
+
+    fn predict_batch(&self, rows: RowsView<'_>) -> Vec<usize> {
+        match self.compile() {
+            Some(compiled) => compiled.predict_batch(rows),
+            None => rows.iter().map(|r| self.predict(r)).collect(),
+        }
     }
 }
 

@@ -157,12 +157,18 @@ impl Evaluation {
     }
 
     /// Evaluate `classifier` (already trained) on `test`.
+    ///
+    /// Predictions run through [`Classifier::predict_batch`] over the
+    /// dataset's columnar row view, so schemes with a compiled flat
+    /// form ([`crate::compiled`]) classify the whole test set in one
+    /// batched pass.
     pub fn of<C: Classifier + ?Sized>(classifier: &C, test: &Dataset) -> Evaluation {
         let latency = hbmd_obs::timer_with("predict_ns", &[("scheme", classifier.name())]);
         hbmd_obs::add("eval.instances", test.len() as u64);
         let mut confusion = ConfusionMatrix::new(test.class_names().to_vec());
-        for (row, label) in test.iter() {
-            confusion.record(label, classifier.predict(row));
+        let predictions = classifier.predict_batch(test.rows());
+        for (&label, prediction) in test.labels().iter().zip(predictions) {
+            confusion.record(label, prediction);
         }
         latency.stop();
         Evaluation {

@@ -19,7 +19,10 @@
 //! * [`Evaluation`] / [`ConfusionMatrix`] / [`cross_validate`] —
 //!   train/test and k-fold evaluation with per-class metrics,
 //! * [`par`] — a deterministic, ordering-preserving `par_map` used to
-//!   fan training/evaluation loops out across scoped threads.
+//!   fan training/evaluation loops out across scoped threads,
+//! * [`compiled`] — flat, branchless evaluators ([`CompiledModel`])
+//!   that fitted tree/rule/ensemble schemes lower into for fast
+//!   batched prediction.
 //!
 //! [`Dataset`] stores its feature matrix as one contiguous row-major
 //! allocation; [`Dataset::rows`] hands out `&[f64]` views
@@ -47,6 +50,7 @@
 
 mod classifier;
 mod classifiers;
+pub mod compiled;
 mod data;
 mod ensemble;
 mod eval;
@@ -69,6 +73,7 @@ pub use classifiers::rep_tree::RepTree;
 pub use classifiers::stump::DecisionStump;
 pub use classifiers::svm::LinearSvm;
 pub use classifiers::zero_r::ZeroR;
+pub use compiled::{CompiledEnsemble, CompiledForest, CompiledModel, CompiledRules, CompiledTree};
 pub use data::{Dataset, MlError, RowsView};
 pub use ensemble::{AdaBoostM1, Bagging, RandomForest};
 pub use eval::{cross_validate, cross_validate_with_threads, ConfusionMatrix, Evaluation};

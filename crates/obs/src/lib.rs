@@ -298,6 +298,14 @@ pub fn timer_with(name: &str, labels: &[(&str, &str)]) -> Timer {
     }
 }
 
+/// Handle to the named, labelled timing histogram in the current
+/// context — resolve once on a hot path, then start timers against it
+/// with [`Timer::against`] so each measurement skips the label
+/// allocation and registry lookup [`timer_with`] pays per call.
+pub fn timing_with(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    current().registry.timing_with(name, labels)
+}
+
 /// A live wall-clock measurement; see [`timer`].
 #[derive(Debug)]
 pub struct Timer {
@@ -307,6 +315,17 @@ pub struct Timer {
 }
 
 impl Timer {
+    /// Start a timer against a pre-resolved histogram handle (see
+    /// [`timing_with`]); records into it on drop or
+    /// [`stop`](Timer::stop) exactly like [`timer`].
+    pub fn against(histogram: Arc<Histogram>) -> Timer {
+        Timer {
+            histogram,
+            started: std::time::Instant::now(),
+            armed: true,
+        }
+    }
+
     /// Record the elapsed time now instead of at drop.
     pub fn stop(mut self) {
         self.record();
