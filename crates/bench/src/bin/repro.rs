@@ -81,7 +81,7 @@ use hbmd_obs::health::FleetHealth;
 use hbmd_obs::manifest::RunManifest;
 use hbmd_obs::trace::Trace;
 use hbmd_obs::{serve, JsonlSink, Obs};
-use hbmd_perf::PmuConfig;
+use hbmd_perf::{PerfError, PmuConfig, SourceSelect};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -305,6 +305,7 @@ fn print_usage() {
          \x20      repro serve [--scale F | --fast] [--addr HOST:PORT] [--windows N]\n\
          \x20                  [--streams N] [--shards N] [--panic-shard S]\n\
          \x20                  [--checkpoint PATH] [--checkpoint-every N]\n\
+         \x20                  [--source sim|perf]\n\
          \x20      repro chaos [--scale F] [--windows N] [--checkpoint-every N] [--dir PATH]\n\
          \x20      repro trace-report <trace.jsonl> [--collapsed PATH]\n\
          \x20      repro bench-diff --baseline PATH --current PATH [--max-regress-pct N]\n\
@@ -320,6 +321,7 @@ fn print_usage() {
 fn build_manifest(scale: f64, config: &ExperimentConfig, experiments: &[String]) -> RunManifest {
     let mut manifest = RunManifest::new("repro", env!("CARGO_PKG_VERSION"));
     manifest.scale = scale;
+    manifest.source = config.collector.source.name().to_owned();
     manifest.threads = config.threads;
     manifest.collector_threads = config.collector.threads;
     manifest.seeds = vec![
@@ -427,6 +429,7 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let mut streams = 2_000u64;
     let mut shards = 8usize;
     let mut panic_shards: Vec<usize> = Vec::new();
+    let mut source = SourceSelect::Sim;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -495,13 +498,32 @@ fn serve_mode(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--source" => match iter.next().map(|s| s.parse::<SourceSelect>()) {
+                Some(Ok(s)) => source = s,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--source needs `sim` or `perf`");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("serve: unexpected argument `{other}`");
                 return ExitCode::FAILURE;
             }
         }
     }
+    // Live counters are best-effort: an unprivileged or perf-less host
+    // degrades gracefully to the simulator instead of refusing to
+    // serve (the manifest records which source actually ran).
+    if let Err(PerfError::BackendUnavailable { reason }) = source.probe() {
+        eprintln!("serve: counter source `{source}` unavailable ({reason}); falling back to sim");
+        source = SourceSelect::Sim;
+    }
     let mut config = config_at_scale(scale);
+    config.collector.source = source;
     if let Some(n) = threads {
         config.threads = n;
         config.collector.threads = n;

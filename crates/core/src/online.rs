@@ -213,44 +213,6 @@ impl OnlineDetector {
         OnlineDetectorBuilder::new(detector)
     }
 
-    /// Wrap a trained detector with a voting window of `window` recent
-    /// verdicts; `threshold` malicious votes raise the alarm.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `window` is zero or `threshold` exceeds `window`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OnlineDetector::builder(detector).window(..).threshold(..).build()`"
-    )]
-    pub fn new(detector: Detector, window: usize, threshold: usize) -> OnlineDetector {
-        match OnlineDetectorBuilder::new(detector)
-            .window(window)
-            .threshold(threshold)
-            .build()
-        {
-            Ok(online) => online,
-            Err(e) => panic!("invalid online detector: {e}"),
-        }
-    }
-
-    /// Add alarm hysteresis after construction.
-    ///
-    /// # Panics
-    ///
-    /// Panics when either count is zero.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OnlineDetectorBuilder::hysteresis` before `build()`"
-    )]
-    pub fn with_hysteresis(mut self, raise_after: usize, clear_after: usize) -> OnlineDetector {
-        assert!(raise_after > 0, "raise_after must be non-zero");
-        assert!(clear_after > 0, "clear_after must be non-zero");
-        self.state.raise_after = raise_after;
-        self.state.clear_after = clear_after;
-        self
-    }
-
     /// The wrapped detector.
     pub fn detector(&self) -> &Detector {
         &self.detector
@@ -683,13 +645,6 @@ mod tests {
             .hysteresis(0, 1)
             .build()
             .is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "threshold")]
-    fn deprecated_constructor_still_panics_on_bad_threshold() {
-        let _ = OnlineDetector::new(trained(), 2, 3);
     }
 
     #[test]

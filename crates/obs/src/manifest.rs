@@ -73,6 +73,9 @@ pub struct RunManifest {
     pub version: String,
     /// Catalog scale of the run (1.0 = the paper's full catalog).
     pub scale: f64,
+    /// Active counter backend of the collection pipeline (`"sim"` for
+    /// the deterministic simulator, `"perf"` for live Linux counters).
+    pub source: String,
     /// Experiment-layer worker threads.
     pub threads: usize,
     /// Collection-pipeline worker threads.
@@ -96,6 +99,7 @@ impl RunManifest {
             tool: tool.into(),
             version: version.into(),
             scale: 1.0,
+            source: "sim".to_owned(),
             threads: 1,
             collector_threads: 1,
             seeds: Vec::new(),
@@ -116,6 +120,7 @@ impl RunManifest {
             json::string(&self.version)
         ));
         out.push_str(&format!("  \"scale\": {},\n", json::float(self.scale)));
+        out.push_str(&format!("  \"source\": {},\n", json::string(&self.source)));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!(
             "  \"collector_threads\": {},\n",
@@ -182,6 +187,7 @@ mod tests {
         manifest.experiments = vec!["table1".to_owned(), "fig13".to_owned()];
         manifest.config_digest = fnv1a_64(b"cfg");
         let json = manifest.to_json();
+        assert!(json.contains("\"source\": \"sim\""));
         assert!(json.contains("\"seeds\": {\"catalog\": 2018, \"split\": 42}"));
         assert!(json.contains("\"experiments\": [\"table1\", \"fig13\"]"));
         assert!(json.contains("\"wall\": {\"started_unix_ms\": "));

@@ -8,12 +8,19 @@ use crate::dataset::{DataRow, HpcDataset};
 use crate::error::PerfError;
 use crate::fault::{FaultCounts, FaultInjector, FaultPlan};
 use crate::sampler::{Sampler, SamplerConfig};
+use crate::source::SourceSelect;
 
 /// Configuration for whole-catalog collection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CollectorConfig {
     /// Per-sample observation setup.
     pub sampler: SamplerConfig,
+    /// Which counter backend windows are read from. The default
+    /// [`SourceSelect::Sim`] is the deterministic simulator;
+    /// [`SourceSelect::Perf`] reads live hardware counters when the
+    /// crate is built with the `perf-backend` feature (probed at
+    /// [`Collector::new`] time).
+    pub source: SourceSelect,
     /// Worker threads (1 = sequential). Collection is embarrassingly
     /// parallel across samples; results are returned in catalog order
     /// regardless of thread count.
@@ -40,6 +47,7 @@ impl CollectorConfig {
     pub fn paper() -> CollectorConfig {
         CollectorConfig {
             sampler: SamplerConfig::paper(),
+            source: SourceSelect::Sim,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -56,6 +64,7 @@ impl CollectorConfig {
     pub fn fast() -> CollectorConfig {
         CollectorConfig {
             sampler: SamplerConfig::fast(),
+            source: SourceSelect::Sim,
             threads: 1,
             labeler: None,
             fault: None,
@@ -71,6 +80,132 @@ impl CollectorConfig {
             fault: Some(plan),
             ..CollectorConfig::fast()
         }
+    }
+
+    /// Start building a configuration from the [`paper`
+    /// preset](CollectorConfig::paper) — the counterpart of the
+    /// `OnlineDetectorBuilder` idiom for the collection side.
+    pub fn builder() -> CollectorConfigBuilder {
+        CollectorConfigBuilder {
+            config: CollectorConfig::paper(),
+        }
+    }
+
+    /// Check the configuration is usable (what [`Collector::new`]
+    /// enforces, minus the backend probe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::Config`] when the sampler configuration or
+    /// fault plan is invalid, `threads` is zero, or the failure
+    /// threshold is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), PerfError> {
+        self.sampler.validate()?;
+        if self.threads == 0 {
+            return Err(PerfError::Config("threads must be non-zero".to_owned()));
+        }
+        if let Some(plan) = &self.fault {
+            plan.validate()?;
+        }
+        if !(self.failure_threshold.is_finite() && (0.0..=1.0).contains(&self.failure_threshold)) {
+            return Err(PerfError::Config(format!(
+                "failure_threshold {} is outside [0, 1]",
+                self.failure_threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`CollectorConfig`]: source, scale, fault plan, and
+/// retry policy, validated at [`build`](CollectorConfigBuilder::build)
+/// time. Starts from the [`paper`](CollectorConfig::paper) preset.
+///
+/// # Examples
+///
+/// ```
+/// use hbmd_perf::{CollectorConfig, SamplerConfig, SourceSelect};
+///
+/// let config = CollectorConfig::builder()
+///     .sampler(SamplerConfig::fast())
+///     .source(SourceSelect::Sim)
+///     .threads(2)
+///     .retries(1, 0)
+///     .build()?;
+/// assert_eq!(config.max_retries, 1);
+/// # Ok::<(), hbmd_perf::PerfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollectorConfigBuilder {
+    config: CollectorConfig,
+}
+
+impl CollectorConfigBuilder {
+    /// Replace the whole per-sample observation setup.
+    pub fn sampler(mut self, sampler: SamplerConfig) -> CollectorConfigBuilder {
+        self.config.sampler = sampler;
+        self
+    }
+
+    /// Select the counter backend windows are read from.
+    pub fn source(mut self, source: SourceSelect) -> CollectorConfigBuilder {
+        self.config.source = source;
+        self
+    }
+
+    /// Worker threads (1 = sequential).
+    pub fn threads(mut self, threads: usize) -> CollectorConfigBuilder {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Label rows with a multi-engine labeller instead of ground truth.
+    pub fn labeler(mut self, labeler: MultiEngineLabeler) -> CollectorConfigBuilder {
+        self.config.labeler = Some(labeler);
+        self
+    }
+
+    /// Inject collection-path faults.
+    pub fn fault(mut self, plan: FaultPlan) -> CollectorConfigBuilder {
+        self.config.fault = Some(plan);
+        self
+    }
+
+    /// Retry policy: extra attempts per failed sample and the base of
+    /// the deterministic exponential backoff between them.
+    pub fn retries(mut self, max_retries: u32, backoff_ms: u64) -> CollectorConfigBuilder {
+        self.config.max_retries = max_retries;
+        self.config.retry_backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Quarantine-rate ceiling before collection aborts with
+    /// [`PerfError::DegradedCollection`].
+    pub fn failure_threshold(mut self, threshold: f64) -> CollectorConfigBuilder {
+        self.config.failure_threshold = threshold;
+        self
+    }
+
+    /// Sampling windows recorded per sample.
+    pub fn windows_per_sample(mut self, windows: usize) -> CollectorConfigBuilder {
+        self.config.sampler.windows_per_sample = windows;
+        self
+    }
+
+    /// Instruction budget per sampling window.
+    pub fn instructions_per_window(mut self, budget: u64) -> CollectorConfigBuilder {
+        self.config.sampler.instructions_per_window = budget;
+        self
+    }
+
+    /// Validate and return the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectorConfig::validate`].
+    pub fn build(self) -> Result<CollectorConfig, PerfError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -95,6 +230,12 @@ pub struct CollectionReport {
     /// Faults observed/injected across all samples (final attempts plus
     /// the panics of failed ones).
     pub faults: FaultCounts,
+    /// Windows whose counter source reported incomplete scheduling
+    /// (some events never got counter time; their features are `NaN`).
+    /// Always zero on the simulator source; on live hardware this is
+    /// the multiplexing-starvation tally `perf stat` would print as
+    /// `<not counted>`.
+    pub starved_windows: usize,
 }
 
 impl CollectionReport {
@@ -107,9 +248,13 @@ impl CollectionReport {
         }
     }
 
-    /// `true` when nothing was quarantined, retried, or corrupted.
+    /// `true` when nothing was quarantined, retried, corrupted, or
+    /// starved of counter time.
     pub fn is_clean(&self) -> bool {
-        self.quarantined.is_empty() && self.retries == 0 && self.faults.total() == 0
+        self.quarantined.is_empty()
+            && self.retries == 0
+            && self.faults.total() == 0
+            && self.starved_windows == 0
     }
 }
 
@@ -166,6 +311,7 @@ struct SampleOutcome {
     rows: Vec<DataRow>,
     retries: usize,
     faults: FaultCounts,
+    starved_windows: usize,
     quarantined: Option<SampleId>,
 }
 
@@ -196,41 +342,20 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Build a collector, validating the configuration.
+    /// Build a collector, validating the configuration and probing the
+    /// selected counter backend.
     ///
     /// # Errors
     ///
     /// Returns [`PerfError::Config`] when the sampler configuration,
     /// fault plan, or failure threshold is invalid or `threads` is
-    /// zero.
+    /// zero; [`PerfError::BackendUnavailable`] when the selected
+    /// source cannot run on this host/build (callers can degrade to
+    /// [`SourceSelect::Sim`] on that variant).
     pub fn new(config: CollectorConfig) -> Result<Collector, PerfError> {
-        config.sampler.validate()?;
-        if config.threads == 0 {
-            return Err(PerfError::Config("threads must be non-zero".to_owned()));
-        }
-        if let Some(plan) = &config.fault {
-            plan.validate()?;
-        }
-        if !(config.failure_threshold.is_finite()
-            && (0.0..=1.0).contains(&config.failure_threshold))
-        {
-            return Err(PerfError::Config(format!(
-                "failure_threshold {} is outside [0, 1]",
-                config.failure_threshold
-            )));
-        }
+        config.validate()?;
+        config.source.probe()?;
         Ok(Collector { config })
-    }
-
-    /// Fallible constructor — now just another name for
-    /// [`Collector::new`], which validates too.
-    ///
-    /// # Errors
-    ///
-    /// See [`Collector::new`].
-    #[deprecated(since = "0.2.0", note = "use `Collector::new`, which is now fallible")]
-    pub fn try_new(config: CollectorConfig) -> Result<Collector, PerfError> {
-        Collector::new(config)
     }
 
     /// The configuration this collector runs with.
@@ -310,19 +435,21 @@ impl Collector {
             quarantined: Vec::new(),
             retries: 0,
             faults: FaultCounts::default(),
+            starved_windows: 0,
         };
         let mut rows = Vec::new();
         for outcome in outcomes {
             report.rows += outcome.rows.len();
             report.retries += outcome.retries;
             report.faults.merge(&outcome.faults);
+            report.starved_windows += outcome.starved_windows;
             if let Some(id) = outcome.quarantined {
                 report.quarantined.push(id);
             }
             rows.extend(outcome.rows);
         }
 
-        record_report_metrics(&report);
+        record_report_metrics(&report, self.config.source);
         span.record("rows", report.rows);
         span.record("quarantined", report.quarantined.len());
 
@@ -340,51 +467,26 @@ impl Collector {
         })
     }
 
-    /// Collect, returning the dataset and report as separate values.
+    /// Collect one sample's rows through the single-attempt path (no
+    /// retry) — the building block the resilient path wraps.
     ///
     /// # Errors
     ///
-    /// See [`Collector::collect`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Collector::collect`, which returns a `Collection`"
-    )]
-    pub fn collect_with_report(
-        &self,
-        catalog: &SampleCatalog,
-    ) -> Result<(HpcDataset, CollectionReport), PerfError> {
-        self.collect(catalog).map(Collection::into_parts)
-    }
-
-    /// Collect and keep only the dataset — the shape of the original
-    /// panicking API.
-    ///
-    /// # Panics
-    ///
-    /// Panics when collection fails (e.g. degrades past
-    /// [`CollectorConfig::failure_threshold`]); use
-    /// [`Collector::collect`] to handle failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Collector::collect` and read `.dataset` from the `Collection`"
-    )]
-    pub fn collect_dataset(&self, catalog: &SampleCatalog) -> HpcDataset {
-        match self.collect(catalog) {
-            Ok(collection) => collection.dataset,
-            Err(e) => panic!("collection failed: {e}"),
-        }
-    }
-
-    /// Collect one sample's rows through the single-attempt path (no
-    /// retry) — the building block the resilient path wraps.
-    pub fn collect_one(&self, sample: &Sample) -> Vec<DataRow> {
-        self.collect_attempt(sample, 0).0
+    /// Propagates counter-source failures (e.g. [`PerfError::Backend`]
+    /// when a live read fails); the simulator source never errors.
+    pub fn collect_one(&self, sample: &Sample) -> Result<Vec<DataRow>, PerfError> {
+        self.collect_attempt(sample, 0).map(|outcome| outcome.0)
     }
 
     /// One attempt: inject faults (if configured) keyed on the sample
-    /// and attempt number, then sample and label. Returns the attempt's
-    /// fault tally alongside the rows.
-    fn collect_attempt(&self, sample: &Sample, attempt: u32) -> (Vec<DataRow>, FaultCounts) {
+    /// and attempt number, then read the sample's windows from the
+    /// configured counter source and label them. Returns the attempt's
+    /// fault tally and starved-window count alongside the rows.
+    fn collect_attempt(
+        &self,
+        sample: &Sample,
+        attempt: u32,
+    ) -> Result<(Vec<DataRow>, FaultCounts, usize), PerfError> {
         let mut injector = self
             .config
             .fault
@@ -402,7 +504,12 @@ impl Collector {
             Some(labeler) => labeler.label(sample).label,
             None => sample.class(),
         };
-        let mut windows = sampler.collect_sample(sample);
+        let counter_windows = sampler.collect_windows(self.config.source, sample)?;
+        let starved = counter_windows
+            .iter()
+            .filter(|w| !w.fully_scheduled())
+            .count();
+        let mut windows: Vec<_> = counter_windows.into_iter().map(|w| w.features).collect();
         let mut counts = FaultCounts::default();
         if let Some(inj) = injector.as_mut() {
             windows = inj.apply(windows);
@@ -416,7 +523,7 @@ impl Collector {
                 features,
             })
             .collect();
-        (rows, counts)
+        Ok((rows, counts, starved))
     }
 
     /// Attempt-with-retry loop for one sample; never panics. Opens a
@@ -446,14 +553,21 @@ impl Collector {
             let outcome =
                 panic::catch_unwind(AssertUnwindSafe(|| self.collect_attempt(sample, attempt)));
             match outcome {
-                Ok((rows, attempt_faults)) => {
+                Ok(Ok((rows, attempt_faults, starved_windows))) => {
                     faults.merge(&attempt_faults);
                     return SampleOutcome {
                         rows,
                         retries,
                         faults,
+                        starved_windows,
                         quarantined: None,
                     };
+                }
+                // A failing counter source (a live read/ioctl error)
+                // is retried exactly like a panicking worker and feeds
+                // the same quarantine machinery on exhaustion.
+                Ok(Err(_backend_error)) => {
+                    hbmd_obs::incr("collect.source_errors");
                 }
                 // A panicking attempt rolls the worker-panic fault
                 // before touching the PMU, so its only fault IS the
@@ -467,6 +581,7 @@ impl Collector {
             rows: Vec::new(),
             retries,
             faults,
+            starved_windows: 0,
             quarantined: Some(sample.id()),
         }
     }
@@ -475,11 +590,14 @@ impl Collector {
 /// Record one collection run's exact, deterministic-domain metrics into
 /// the installed observability context. Every value derives from the
 /// report (itself thread-count-independent), so the counters are too.
-fn record_report_metrics(report: &CollectionReport) {
+fn record_report_metrics(report: &CollectionReport, source: SourceSelect) {
     hbmd_obs::add("collect.samples", report.samples_total as u64);
     hbmd_obs::add("windows_collected", report.rows as u64);
+    hbmd_obs::counter_with("collect.windows_by_source", &[("source", source.name())])
+        .add(report.rows as u64);
     hbmd_obs::add("collect.retries", report.retries as u64);
     hbmd_obs::add("collect.quarantined", report.quarantined.len() as u64);
+    hbmd_obs::add("collect.starved_windows", report.starved_windows as u64);
     for (kind, count) in report.faults.per_kind() {
         if count > 0 {
             hbmd_obs::counter_with("faults_injected", &[("kind", kind)]).add(count as u64);
@@ -570,16 +688,83 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_new_api() {
-        let catalog = SampleCatalog::scaled(0.01, 5);
-        let collection = collect(CollectorConfig::fast(), &catalog);
+    fn builder_matches_presets_and_validates() {
+        let built = CollectorConfig::builder()
+            .sampler(SamplerConfig::fast())
+            .threads(1)
+            .build()
+            .expect("valid");
+        assert_eq!(built, CollectorConfig::fast());
 
-        let shim = Collector::try_new(CollectorConfig::fast()).expect("valid config");
-        let (dataset, report) = shim.collect_with_report(&catalog).expect("clean");
-        assert_eq!(dataset, collection.dataset);
-        assert_eq!(report, collection.report);
-        assert_eq!(shim.collect_dataset(&catalog), collection.dataset);
+        let faulted = CollectorConfig::builder()
+            .sampler(SamplerConfig::fast())
+            .threads(1)
+            .fault(FaultPlan::uniform(0.1, 21))
+            .build()
+            .expect("valid");
+        assert_eq!(
+            faulted,
+            CollectorConfig::faulted(FaultPlan::uniform(0.1, 21))
+        );
+
+        assert!(CollectorConfig::builder().threads(0).build().is_err());
+        assert!(CollectorConfig::builder()
+            .windows_per_sample(0)
+            .build()
+            .is_err());
+        assert!(CollectorConfig::builder()
+            .failure_threshold(2.0)
+            .build()
+            .is_err());
+        let scaled = CollectorConfig::builder()
+            .windows_per_sample(7)
+            .instructions_per_window(9_000)
+            .build()
+            .expect("valid");
+        assert_eq!(scaled.sampler.windows_per_sample, 7);
+        assert_eq!(scaled.sampler.instructions_per_window, 9_000);
+    }
+
+    #[test]
+    fn collect_one_returns_rows_fallibly() {
+        use hbmd_malware::SampleId;
+        let collector = Collector::new(CollectorConfig::fast()).expect("valid config");
+        let sample = Sample::generate(SampleId(3), AppClass::Virus, 5);
+        let rows = collector.collect_one(&sample).expect("sim never fails");
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.sample == sample.id()));
+    }
+
+    #[test]
+    fn explicit_sim_source_matches_the_default() {
+        let catalog = SampleCatalog::scaled(0.01, 5);
+        let default = collect(CollectorConfig::fast(), &catalog);
+        let explicit = collect(
+            CollectorConfig::builder()
+                .sampler(SamplerConfig::fast())
+                .threads(1)
+                .source(crate::SourceSelect::Sim)
+                .build()
+                .expect("valid"),
+            &catalog,
+        );
+        assert_eq!(default, explicit);
+        assert_eq!(default.report.starved_windows, 0);
+    }
+
+    #[cfg(not(feature = "perf-backend"))]
+    #[test]
+    fn perf_source_without_the_feature_is_typed_unavailable() {
+        let config = CollectorConfig {
+            source: crate::SourceSelect::Perf,
+            ..CollectorConfig::fast()
+        };
+        match Collector::new(config) {
+            Err(PerfError::BackendUnavailable { reason }) => {
+                assert!(reason.contains("perf-backend"), "{reason}");
+            }
+            other => panic!("expected BackendUnavailable, got {other:?}"),
+        }
     }
 
     #[test]

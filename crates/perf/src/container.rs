@@ -97,7 +97,7 @@ pub struct ContainedStream {
 }
 
 impl ContainedStream {
-    fn new(sample: &Sample, noise_ratio: f64) -> ContainedStream {
+    pub(crate) fn new(sample: &Sample, noise_ratio: f64) -> ContainedStream {
         let host = if noise_ratio > 0.0 {
             Some(SyntheticStream::new(
                 StreamParams::balanced(),

@@ -34,6 +34,27 @@ pub enum PerfError {
     },
     /// A configuration value is unusable.
     Config(String),
+    /// The selected counter backend cannot run on this host/build.
+    ///
+    /// Returned by [`SourceSelect::probe`](crate::SourceSelect::probe)
+    /// and backend construction when live collection was requested but
+    /// `perf_event_open(2)` is unavailable: the crate was built without
+    /// the `perf-backend` feature, the kernel's `perf_event_paranoid`
+    /// level forbids self-profiling, or the PMU is missing. Callers can
+    /// degrade gracefully to the simulator on this variant.
+    BackendUnavailable {
+        /// What the runtime probe found.
+        reason: String,
+    },
+    /// A live counter backend failed mid-collection (a syscall,
+    /// `ioctl`, or counter read returned an error after programming
+    /// succeeded).
+    Backend {
+        /// The operation that failed (e.g. `perf_event_open`, `read`).
+        op: &'static str,
+        /// The OS error behind it.
+        source: io::Error,
+    },
     /// Too many samples failed collection even after retries; the
     /// dataset would be too degraded to trust.
     DegradedCollection {
@@ -60,6 +81,12 @@ impl fmt::Display for PerfError {
                 write!(f, "trace parse error at line {line}: {message}")
             }
             PerfError::Config(message) => write!(f, "invalid configuration: {message}"),
+            PerfError::BackendUnavailable { reason } => {
+                write!(f, "counter backend unavailable: {reason}")
+            }
+            PerfError::Backend { op, source } => {
+                write!(f, "counter backend failed during {op}: {source}")
+            }
             PerfError::DegradedCollection {
                 failed,
                 total,
@@ -78,6 +105,7 @@ impl std::error::Error for PerfError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PerfError::Io(e) => Some(e),
+            PerfError::Backend { source, .. } => Some(source),
             _ => None,
         }
     }

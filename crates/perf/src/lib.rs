@@ -18,7 +18,11 @@
 //! * [`HpcDataset`] — the assembled labelled dataset with stratified
 //!   70/30 train/test splitting,
 //! * [`Collector`] — end-to-end, optionally multi-threaded collection
-//!   over a whole [`SampleCatalog`](hbmd_malware::SampleCatalog).
+//!   over a whole [`SampleCatalog`](hbmd_malware::SampleCatalog),
+//! * [`CounterSource`] — the pluggable backend contract behind the
+//!   collector: the deterministic simulator ([`SourceSelect::Sim`],
+//!   the default) or live Linux `perf_event_open(2)` counters
+//!   ([`SourceSelect::Perf`], behind the `perf-backend` feature).
 //!
 //! # Time scaling
 //!
@@ -52,11 +56,19 @@ mod error;
 mod fault;
 mod pmu;
 mod sampler;
+mod source;
+#[cfg(feature = "perf-backend")]
+pub mod sys;
 
-pub use collect::{Collection, CollectionReport, Collector, CollectorConfig};
+pub use collect::{
+    Collection, CollectionReport, Collector, CollectorConfig, CollectorConfigBuilder,
+};
 pub use container::Container;
 pub use dataset::{DataRow, HpcDataset};
 pub use error::PerfError;
 pub use fault::{FaultCounts, FaultInjector, FaultPlan, SATURATION_CEILING};
 pub use pmu::{Pmu, PmuConfig};
 pub use sampler::{Sampler, SamplerConfig};
+pub use source::{
+    open_source, CounterSource, CounterWindow, EventSel, SimSource, SourceCaps, SourceSelect,
+};

@@ -3,9 +3,9 @@ use hbmd_malware::Sample;
 use hbmd_uarch::CpuConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::container::Container;
 use crate::error::PerfError;
-use crate::pmu::{Pmu, PmuConfig};
+use crate::pmu::PmuConfig;
+use crate::source::{open_source, CounterWindow, EventSel, SourceSelect};
 
 /// How each sample is observed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,29 +126,36 @@ impl Sampler {
     }
 
     /// Execute `sample` in its container and record one feature vector
-    /// per sampling window.
+    /// per sampling window — the simulator-source convenience wrapper
+    /// around [`collect_windows`](Sampler::collect_windows).
     pub fn collect_sample(&self, sample: &Sample) -> Vec<FeatureVector> {
-        let mut container = if self.config.host_noise > 0.0 {
-            Container::shared_host(self.config.cpu.clone(), self.config.host_noise)
-        } else {
-            Container::isolated(self.config.cpu.clone())
-        };
-        let (cpu, mut stream) = container.launch(sample);
-        let mut pmu = self
-            .config
-            .pmu
-            .as_ref()
-            .map(|c| Pmu::new(c.clone()).expect("validated at construction"));
+        self.collect_windows(SourceSelect::Sim, sample)
+            .expect("the simulator source is infallible on a validated config")
+            .into_iter()
+            .map(|window| window.features)
+            .collect()
+    }
 
+    /// Read one [`CounterWindow`] per sampling window from the selected
+    /// counter backend: a fresh source is minted for the sample (the
+    /// per-sample container hygiene of the reference setup), programmed
+    /// with the paper's 16 events, and read window by window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction and read failures —
+    /// [`PerfError::BackendUnavailable`] when the selected source
+    /// cannot run here, [`PerfError::Backend`] when a live read fails.
+    /// The simulator source never errors on a validated config.
+    pub fn collect_windows(
+        &self,
+        select: SourceSelect,
+        sample: &Sample,
+    ) -> Result<Vec<CounterWindow>, PerfError> {
+        let mut source = open_source(select, &self.config, sample)?;
+        source.program(&EventSel::paper_set())?;
         (0..self.config.windows_per_sample)
-            .map(|_| match &mut pmu {
-                Some(pmu) => {
-                    pmu.measure_window(cpu, &mut stream, self.config.instructions_per_window)
-                }
-                None => {
-                    Pmu::measure_window_exact(cpu, &mut stream, self.config.instructions_per_window)
-                }
-            })
+            .map(|_| source.read_window())
             .collect()
     }
 }

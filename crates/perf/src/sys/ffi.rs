@@ -1,0 +1,274 @@
+//! Raw `perf_event_open(2)` FFI: the syscall, the `perf_event_attr`
+//! ABI struct, and the handful of ioctls the grouped-read path needs.
+//! No external crates — the symbols come straight from the platform
+//! libc the binary already links.
+
+use std::io;
+use std::os::raw::{c_int, c_long, c_ulong, c_void};
+
+use crate::error::PerfError;
+
+extern "C" {
+    fn syscall(num: c_long, ...) -> c_long;
+    fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// `__NR_perf_event_open` for the architectures this backend supports.
+#[cfg(target_arch = "x86_64")]
+const NR_PERF_EVENT_OPEN: c_long = 298;
+#[cfg(target_arch = "aarch64")]
+const NR_PERF_EVENT_OPEN: c_long = 241;
+
+/// `PERF_ATTR_SIZE_VER5` — the `perf_event_attr` revision this struct
+/// mirrors (uapi `linux/perf_event.h`). Newer kernels accept older
+/// sizes, so this works everywhere the backend can run.
+const PERF_ATTR_SIZE_VER5: u32 = 112;
+
+// `attr.read_format` bits.
+pub const FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+pub const FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+pub const FORMAT_ID: u64 = 1 << 2;
+pub const FORMAT_GROUP: u64 = 1 << 3;
+
+// `attr` flag bits (bitfield word after `read_format`).
+const ATTR_DISABLED: u64 = 1 << 0;
+const ATTR_EXCLUDE_KERNEL: u64 = 1 << 5;
+const ATTR_EXCLUDE_HV: u64 = 1 << 6;
+
+// `perf_event_open` flags.
+const PERF_FLAG_FD_CLOEXEC: c_ulong = 1 << 3;
+
+// ioctls (`_IO('$', 0..)`; IOC_ID is `_IOR('$', 7, u64)`).
+const IOC_ENABLE: c_ulong = 0x2400;
+const IOC_DISABLE: c_ulong = 0x2401;
+const IOC_RESET: c_ulong = 0x2403;
+const IOC_ID: c_ulong = 0x8008_2407;
+/// Apply the ioctl to the whole group led by this fd.
+const IOC_FLAG_GROUP: c_ulong = 1;
+
+/// `struct perf_event_attr`, `PERF_ATTR_SIZE_VER5` layout. Zeroed by
+/// default; the sampling/breakpoint tail fields stay zero for counting
+/// mode.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PerfEventAttr {
+    type_: u32,
+    size: u32,
+    config: u64,
+    sample_period_or_freq: u64,
+    sample_type: u64,
+    read_format: u64,
+    flags: u64,
+    wakeup: u32,
+    bp_type: u32,
+    config1: u64,
+    config2: u64,
+    branch_sample_type: u64,
+    sample_regs_user: u64,
+    sample_stack_user: u32,
+    clockid: i32,
+    sample_regs_intr: u64,
+    aux_watermark: u32,
+    sample_max_stack: u16,
+    reserved: u16,
+}
+
+const _: () = assert!(std::mem::size_of::<PerfEventAttr>() == PERF_ATTR_SIZE_VER5 as usize);
+
+impl PerfEventAttr {
+    /// A user-space-only counting-mode attribute for one event.
+    /// `disabled` starts the leader stopped so the whole group can be
+    /// enabled atomically around each sampling window.
+    pub fn counting(perf_type: u32, perf_config: u64, leader: bool) -> PerfEventAttr {
+        let mut flags = ATTR_EXCLUDE_KERNEL | ATTR_EXCLUDE_HV;
+        if leader {
+            flags |= ATTR_DISABLED;
+        }
+        PerfEventAttr {
+            type_: perf_type,
+            size: PERF_ATTR_SIZE_VER5,
+            config: perf_config,
+            sample_period_or_freq: 0,
+            sample_type: 0,
+            read_format: FORMAT_TOTAL_TIME_ENABLED
+                | FORMAT_TOTAL_TIME_RUNNING
+                | FORMAT_ID
+                | FORMAT_GROUP,
+            flags,
+            wakeup: 0,
+            bp_type: 0,
+            config1: 0,
+            config2: 0,
+            branch_sample_type: 0,
+            sample_regs_user: 0,
+            sample_stack_user: 0,
+            clockid: 0,
+            sample_regs_intr: 0,
+            aux_watermark: 0,
+            sample_max_stack: 0,
+            reserved: 0,
+        }
+    }
+}
+
+/// An owned perf event fd, closed on drop.
+#[derive(Debug)]
+pub struct Fd(c_int);
+
+impl Fd {
+    pub fn raw(&self) -> c_int {
+        self.0
+    }
+}
+
+impl Drop for Fd {
+    fn drop(&mut self) {
+        // Nothing useful to do on a failed close of a counter fd.
+        unsafe {
+            let _ = close(self.0);
+        }
+    }
+}
+
+/// `perf_event_open(attr, pid, cpu, group_fd, FD_CLOEXEC)`.
+///
+/// `pid = 0, cpu = -1` measures the calling process on any CPU — the
+/// self-profiling mode the collector uses. `group_fd = -1` starts a new
+/// group; otherwise the event joins (and is scheduled with) the leader.
+///
+/// # Errors
+///
+/// The raw OS error, untranslated — callers map `EACCES`/`ENOENT`/… to
+/// typed diagnostics.
+pub fn perf_event_open(
+    attr: &PerfEventAttr,
+    pid: c_int,
+    cpu: c_int,
+    group_fd: c_int,
+) -> io::Result<Fd> {
+    // SAFETY: `attr` is a fully initialised VER5-sized struct that the
+    // kernel only reads; the returned value is a plain fd or -1.
+    let fd = unsafe {
+        syscall(
+            NR_PERF_EVENT_OPEN,
+            attr as *const PerfEventAttr,
+            pid,
+            cpu,
+            group_fd,
+            PERF_FLAG_FD_CLOEXEC,
+        )
+    };
+    if fd < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(Fd(fd as c_int))
+    }
+}
+
+fn group_ioctl(leader: &Fd, request: c_ulong, op: &'static str) -> Result<(), PerfError> {
+    // SAFETY: plain fd ioctl; the GROUP flag is an integer argument.
+    let rc = unsafe { ioctl(leader.raw(), request, IOC_FLAG_GROUP) };
+    if rc < 0 {
+        Err(PerfError::Backend {
+            op,
+            source: io::Error::last_os_error(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Zero every counter in the group led by `leader`.
+pub fn reset_group(leader: &Fd) -> Result<(), PerfError> {
+    group_ioctl(leader, IOC_RESET, "ioctl(PERF_EVENT_IOC_RESET)")
+}
+
+/// Start the whole group counting.
+pub fn enable_group(leader: &Fd) -> Result<(), PerfError> {
+    group_ioctl(leader, IOC_ENABLE, "ioctl(PERF_EVENT_IOC_ENABLE)")
+}
+
+/// Stop the whole group.
+pub fn disable_group(leader: &Fd) -> Result<(), PerfError> {
+    group_ioctl(leader, IOC_DISABLE, "ioctl(PERF_EVENT_IOC_DISABLE)")
+}
+
+/// The kernel-assigned id of one event fd (matches the ids in a
+/// grouped read).
+pub fn event_id(fd: &Fd) -> Result<u64, PerfError> {
+    let mut id: u64 = 0;
+    // SAFETY: IOC_ID writes one u64 through the pointer.
+    let rc = unsafe { ioctl(fd.raw(), IOC_ID, &mut id as *mut u64) };
+    if rc < 0 {
+        Err(PerfError::Backend {
+            op: "ioctl(PERF_EVENT_IOC_ID)",
+            source: io::Error::last_os_error(),
+        })
+    } else {
+        Ok(id)
+    }
+}
+
+/// One grouped read:
+/// `{ nr, time_enabled, time_running, [{ value, id }; nr] }`.
+#[derive(Debug, Clone)]
+pub struct GroupRead {
+    pub time_enabled: u64,
+    pub time_running: u64,
+    /// `(id, value)` per member, kernel order.
+    pub values: Vec<(u64, u64)>,
+}
+
+/// Read the whole group led by `leader` in one syscall.
+///
+/// # Errors
+///
+/// [`PerfError::Backend`] when the read fails or returns a malformed
+/// (short or over-long) buffer.
+pub fn read_group(leader: &Fd, members: usize) -> Result<GroupRead, PerfError> {
+    // Header (nr, time_enabled, time_running) + 2 words per member.
+    let words = 3 + 2 * members;
+    let mut buf = vec![0u64; words];
+    // SAFETY: the buffer is `words * 8` writable bytes; the kernel
+    // writes at most that for a group of `members` events.
+    let n = unsafe {
+        read(
+            leader.raw(),
+            buf.as_mut_ptr().cast::<c_void>(),
+            words * std::mem::size_of::<u64>(),
+        )
+    };
+    if n < 0 {
+        return Err(PerfError::Backend {
+            op: "read(perf group)",
+            source: io::Error::last_os_error(),
+        });
+    }
+    let nr = buf[0] as usize;
+    let needed = (3 + 2 * nr) * std::mem::size_of::<u64>();
+    if nr > members || (n as usize) < needed {
+        return Err(PerfError::Backend {
+            op: "read(perf group)",
+            source: io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("short group read: {n} bytes for {nr} events"),
+            ),
+        });
+    }
+    let values = (0..nr)
+        .map(|i| (buf[3 + 2 * i + 1], buf[3 + 2 * i]))
+        .collect();
+    Ok(GroupRead {
+        time_enabled: buf[1],
+        time_running: buf[2],
+        values,
+    })
+}
+
+/// The host's `kernel.perf_event_paranoid` level, when readable.
+pub fn paranoid_level() -> Option<i64> {
+    let text = std::fs::read_to_string("/proc/sys/kernel/perf_event_paranoid").ok()?;
+    text.trim().parse().ok()
+}

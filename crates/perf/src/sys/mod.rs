@@ -1,0 +1,310 @@
+//! The live Linux counter backend (`--features perf-backend`): the
+//! paper's 16 events programmed through `perf_event_open(2)` as
+//! kernel-scheduled groups, read with `time_enabled`/`time_running`
+//! multiplexing telemetry exactly as `perf stat` reports it.
+//!
+//! What gets measured: the collector process itself, while it executes
+//! the sample's synthetic instruction stream on the `hbmd-uarch` core
+//! model. The *workload driver* is identical to the simulator source —
+//! same stream, same per-window instruction budget — but the counts
+//! come from the host PMU observing that execution, so traces carry
+//! real-hardware artefacts (multiplexing error, interrupt noise,
+//! frequency scaling) that the deterministic model can only imitate.
+//! Live traces are therefore machine-specific and non-reproducible
+//! across runs; the simulator stays the default for CI and for every
+//! byte-identical experiment.
+//!
+//! Availability is probed at runtime ([`probe`]): a kernel without the
+//! syscall, a restrictive `kernel.perf_event_paranoid`, or a missing
+//! PMU yields [`PerfError::BackendUnavailable`](crate::PerfError) so
+//! callers can degrade gracefully to the simulator.
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod ffi;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use std::collections::HashMap;
+
+    use hbmd_events::{FeatureVector, HpcEvent};
+    use hbmd_malware::Sample;
+    use hbmd_uarch::Cpu;
+
+    use super::ffi;
+    use crate::container::ContainedStream;
+    use crate::error::PerfError;
+    use crate::sampler::SamplerConfig;
+    use crate::source::{CounterSource, CounterWindow, EventSel, SourceCaps, SourceSelect};
+
+    /// Events scheduled per kernel group. Four fits the programmable
+    /// registers of every PMU this targets (and leaves room for NMI
+    /// watchdog reservations); the kernel multiplexes the groups and
+    /// the `time_enabled`/`time_running` scaling corrects for it.
+    const GROUP_WIDTH: usize = 4;
+
+    /// Check `perf_event_open` works here by opening (and immediately
+    /// closing) one hardware instructions counter on this thread.
+    ///
+    /// # Errors
+    ///
+    /// [`PerfError::BackendUnavailable`] with the probe's findings,
+    /// including the `perf_event_paranoid` level when readable.
+    pub fn probe() -> Result<(), PerfError> {
+        // PERF_COUNT_HW_INSTRUCTIONS: the one counter every PMU has.
+        let attr = ffi::PerfEventAttr::counting(0, 1, true);
+        match ffi::perf_event_open(&attr, 0, -1, -1) {
+            Ok(_fd) => Ok(()),
+            Err(err) => {
+                let paranoid = match ffi::paranoid_level() {
+                    Some(level) => format!("kernel.perf_event_paranoid={level}"),
+                    None => "kernel.perf_event_paranoid unreadable".to_owned(),
+                };
+                let hint = match err.raw_os_error() {
+                    Some(1) | Some(13) => {
+                        "insufficient privilege; lower \
+                         kernel.perf_event_paranoid to 2 or grant CAP_PERFMON"
+                    }
+                    Some(2) => "no PMU exposes hardware events (virtualised host?)",
+                    Some(38) => "kernel built without perf_event_open",
+                    _ => "perf_event_open probe failed",
+                };
+                Err(PerfError::BackendUnavailable {
+                    reason: format!("{hint} ({err}; {paranoid})"),
+                })
+            }
+        }
+    }
+
+    /// One kernel scheduling group: a leader fd, its siblings, and the
+    /// event each kernel-assigned id counts.
+    struct Group {
+        leader: ffi::Fd,
+        /// Kept for their fds' lifetimes; read via the leader.
+        _siblings: Vec<ffi::Fd>,
+        id_to_event: Vec<(u64, HpcEvent)>,
+    }
+
+    /// The live `perf_event_open` implementation of
+    /// [`CounterSource`].
+    pub struct PerfSource {
+        cpu: Cpu,
+        stream: ContainedStream,
+        budget: u64,
+        groups: Vec<Group>,
+        /// Events the host PMU refused at `program` time (reported as
+        /// `NaN` features, counted as starved).
+        unsupported: Vec<HpcEvent>,
+        programmed: bool,
+    }
+
+    impl PerfSource {
+        /// Probe the host, then stage the sample's workload driver.
+        /// Counters are opened later, in
+        /// [`program`](CounterSource::program).
+        ///
+        /// # Errors
+        ///
+        /// [`PerfError::BackendUnavailable`] when the probe fails.
+        pub fn open(config: &SamplerConfig, sample: &Sample) -> Result<PerfSource, PerfError> {
+            probe()?;
+            Ok(PerfSource {
+                cpu: Cpu::new(config.cpu.clone()),
+                stream: ContainedStream::new(sample, config.host_noise),
+                budget: config.instructions_per_window,
+                groups: Vec::new(),
+                unsupported: Vec::new(),
+                programmed: false,
+            })
+        }
+    }
+
+    impl CounterSource for PerfSource {
+        fn program(&mut self, events: &[EventSel]) -> Result<(), PerfError> {
+            if !EventSel::is_paper_set(events) {
+                return Err(PerfError::Config(
+                    "the perf source counts exactly the 16 collected events \
+                     in column order"
+                        .to_owned(),
+                ));
+            }
+            self.groups.clear();
+            self.unsupported.clear();
+            let mut current: Option<Group> = None;
+            for sel in events {
+                let full = current
+                    .as_ref()
+                    .is_some_and(|g| g.id_to_event.len() >= GROUP_WIDTH);
+                if full {
+                    self.groups.extend(current.take());
+                }
+                let leader_fd = current.as_ref().map_or(-1, |g| g.leader.raw());
+                let attr =
+                    ffi::PerfEventAttr::counting(sel.perf_type, sel.perf_config, current.is_none());
+                match ffi::perf_event_open(&attr, 0, -1, leader_fd) {
+                    Ok(fd) => {
+                        let id = ffi::event_id(&fd)?;
+                        match &mut current {
+                            Some(group) => {
+                                group._siblings.push(fd);
+                                group.id_to_event.push((id, sel.event));
+                            }
+                            None => {
+                                current = Some(Group {
+                                    leader: fd,
+                                    _siblings: Vec::new(),
+                                    id_to_event: vec![(id, sel.event)],
+                                });
+                            }
+                        }
+                    }
+                    // Events a given PMU simply does not implement
+                    // (node-*, bpu-* on many cores) open with ENOENT /
+                    // EOPNOTSUPP / EINVAL: degrade per-event to NaN
+                    // instead of failing the backend.
+                    Err(err) if matches!(err.raw_os_error(), Some(2) | Some(22) | Some(95)) => {
+                        self.unsupported.push(sel.event);
+                    }
+                    Err(err) => {
+                        return Err(PerfError::Backend {
+                            op: "perf_event_open",
+                            source: err,
+                        });
+                    }
+                }
+            }
+            self.groups.extend(current);
+            if self.groups.is_empty() {
+                return Err(PerfError::BackendUnavailable {
+                    reason: "the host PMU rejected every collected event".to_owned(),
+                });
+            }
+            self.programmed = true;
+            Ok(())
+        }
+
+        fn read_window(&mut self) -> Result<CounterWindow, PerfError> {
+            if !self.programmed {
+                return Err(PerfError::Config(
+                    "read_window before program on the perf source".to_owned(),
+                ));
+            }
+            for group in &self.groups {
+                ffi::reset_group(&group.leader)?;
+                ffi::enable_group(&group.leader)?;
+            }
+            self.cpu.run(&mut self.stream, self.budget);
+            for group in &self.groups {
+                ffi::disable_group(&group.leader)?;
+            }
+
+            let mut features = FeatureVector::zeroed();
+            for event in &self.unsupported {
+                features[*event] = f64::NAN;
+            }
+            let mut starved = self.unsupported.len();
+            let mut time_enabled = 0u64;
+            let mut time_running = u64::MAX;
+            for group in &self.groups {
+                let read = ffi::read_group(&group.leader, group.id_to_event.len())?;
+                time_enabled = time_enabled.max(read.time_enabled);
+                time_running = time_running.min(read.time_running);
+                let by_id: HashMap<u64, u64> = read.values.iter().copied().collect();
+                for (id, event) in &group.id_to_event {
+                    let scaled = match by_id.get(id) {
+                        Some(&value) if read.time_running > 0 => {
+                            value as f64 * read.time_enabled as f64 / read.time_running as f64
+                        }
+                        // Never scheduled this window (or missing from
+                        // the read): no estimate exists.
+                        _ => {
+                            starved += 1;
+                            f64::NAN
+                        }
+                    };
+                    features[*event] = scaled;
+                }
+            }
+            Ok(CounterWindow {
+                features,
+                time_enabled,
+                time_running: if time_running == u64::MAX {
+                    0
+                } else {
+                    time_running
+                },
+                starved_events: starved,
+            })
+        }
+
+        fn caps(&self) -> SourceCaps {
+            SourceCaps {
+                backend: SourceSelect::Perf.name(),
+                live: true,
+                counters: GROUP_WIDTH,
+                multiplexed: true,
+            }
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use hbmd_malware::Sample;
+
+    use crate::error::PerfError;
+    use crate::sampler::SamplerConfig;
+    use crate::source::{CounterSource, CounterWindow, EventSel, SourceCaps};
+
+    fn unavailable() -> PerfError {
+        PerfError::BackendUnavailable {
+            reason: "perf_event_open is Linux-only (x86_64/aarch64)".to_owned(),
+        }
+    }
+
+    /// Stub for targets without `perf_event_open`: everything returns
+    /// [`PerfError::BackendUnavailable`].
+    pub fn probe() -> Result<(), PerfError> {
+        Err(unavailable())
+    }
+
+    /// Uninhabitable stub of the live backend for non-Linux targets.
+    pub struct PerfSource {
+        never: std::convert::Infallible,
+    }
+
+    impl PerfSource {
+        /// Always fails on this target.
+        ///
+        /// # Errors
+        ///
+        /// [`PerfError::BackendUnavailable`], unconditionally.
+        pub fn open(_config: &SamplerConfig, _sample: &Sample) -> Result<PerfSource, PerfError> {
+            Err(unavailable())
+        }
+    }
+
+    impl CounterSource for PerfSource {
+        fn program(&mut self, _events: &[EventSel]) -> Result<(), PerfError> {
+            match self.never {}
+        }
+
+        fn read_window(&mut self) -> Result<CounterWindow, PerfError> {
+            match self.never {}
+        }
+
+        fn caps(&self) -> SourceCaps {
+            match self.never {}
+        }
+    }
+}
+
+pub use imp::{probe, PerfSource};

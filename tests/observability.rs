@@ -141,14 +141,22 @@ fn summary_table_renders_counters_and_histograms() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_collection_shims_stay_wired_through_the_facade() {
+fn per_source_window_counter_labels_the_active_backend() {
+    let guard = hbmd::obs::install(Obs::new());
     let catalog = SampleCatalog::scaled(0.01, 5);
-    let via_new = collect(CollectorConfig::fast(), &catalog);
+    let collection = collect(CollectorConfig::fast(), &catalog);
 
-    let collector = Collector::try_new(CollectorConfig::fast()).expect("valid config");
-    let (dataset, report) = collector.collect_with_report(&catalog).expect("collect");
-    assert_eq!(dataset, via_new.dataset);
-    assert_eq!(report, via_new.report);
-    assert_eq!(collector.collect_dataset(&catalog), via_new.dataset);
+    let snapshot = guard.registry().snapshot();
+    let by_source: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|c| {
+            c.name == "collect.windows_by_source"
+                && c.labels == vec![("source".to_owned(), "sim".to_owned())]
+        })
+        .map(|c| c.value)
+        .sum();
+    assert_eq!(by_source, collection.dataset.len() as u64);
+    assert_eq!(snapshot.counter("collect.starved_windows"), 0);
+    drop(guard);
 }
