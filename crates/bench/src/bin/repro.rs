@@ -79,8 +79,9 @@ use hbmd_malware::AppClass;
 use hbmd_ml::{Classifier, Evaluation};
 use hbmd_obs::health::FleetHealth;
 use hbmd_obs::manifest::RunManifest;
+use hbmd_obs::recorder::{read_bundle, RecorderHub, Trigger};
 use hbmd_obs::trace::Trace;
-use hbmd_obs::{serve, JsonlSink, Obs};
+use hbmd_obs::{json, serve, JsonlSink, Obs};
 use hbmd_perf::{PerfError, PmuConfig, SourceSelect};
 
 fn main() -> ExitCode {
@@ -93,6 +94,7 @@ fn main() -> ExitCode {
         Some("chaos") => return chaos_mode(&args[1..]),
         Some("trace-report") => return trace_report(&args[1..]),
         Some("bench-diff") => return bench_diff(&args[1..]),
+        Some("bundle-report") => return bundle_report(&args[1..]),
         _ => {}
     }
     let mut scale = 0.2f64;
@@ -305,10 +307,12 @@ fn print_usage() {
          \x20      repro serve [--scale F | --fast] [--addr HOST:PORT] [--windows N]\n\
          \x20                  [--streams N] [--shards N] [--panic-shard S]\n\
          \x20                  [--checkpoint PATH] [--checkpoint-every N]\n\
+         \x20                  [--record-ring N] [--bundle-dir PATH]\n\
          \x20                  [--source sim|perf]\n\
          \x20      repro chaos [--scale F] [--windows N] [--checkpoint-every N] [--dir PATH]\n\
          \x20      repro trace-report <trace.jsonl> [--collapsed PATH]\n\
          \x20      repro bench-diff --baseline PATH --current PATH [--max-regress-pct N]\n\
+         \x20      repro bundle-report <bundle-dir>\n\
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
@@ -407,6 +411,10 @@ struct ServeOptions {
     shards: usize,
     /// Chaos: shards given a single injected worker panic.
     panic_shards: Vec<usize>,
+    /// Flight-recorder ring capacity per shard; 0 = recorder off.
+    record_ring: usize,
+    /// Where anomaly-triggered diagnostic bundles land.
+    bundle_dir: Option<PathBuf>,
 }
 
 /// `repro serve` — train one shared detector, then run a *fleet* of
@@ -429,6 +437,8 @@ fn serve_mode(args: &[String]) -> ExitCode {
     let mut streams = 2_000u64;
     let mut shards = 8usize;
     let mut panic_shards: Vec<usize> = Vec::new();
+    let mut record_ring = 0usize;
+    let mut bundle_dir: Option<PathBuf> = None;
     let mut source = SourceSelect::Sim;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -498,6 +508,20 @@ fn serve_mode(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--record-ring" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => record_ring = n,
+                _ => {
+                    eprintln!("--record-ring needs a positive slot count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bundle-dir" => match iter.next() {
+                Some(path) => bundle_dir = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--bundle-dir needs a directory path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--source" => match iter.next().map(|s| s.parse::<SourceSelect>()) {
                 Some(Ok(s)) => source = s,
                 Some(Err(e)) => {
@@ -528,6 +552,11 @@ fn serve_mode(args: &[String]) -> ExitCode {
         config.threads = n;
         config.collector.threads = n;
     }
+    // A bundle directory implies recording: default the ring to 256
+    // slots per shard so `--bundle-dir` alone produces useful bundles.
+    if bundle_dir.is_some() && record_ring == 0 {
+        record_ring = 256;
+    }
     let options = ServeOptions {
         scale,
         addr,
@@ -537,6 +566,8 @@ fn serve_mode(args: &[String]) -> ExitCode {
         streams,
         shards,
         panic_shards,
+        record_ring,
+        bundle_dir,
     };
     match run_monitor(&config, &options) {
         Ok(()) => ExitCode::SUCCESS,
@@ -596,6 +627,69 @@ fn run_monitor(
     };
 
     let manifest = build_manifest(options.scale, config, &["serve".to_owned()]);
+    // `hbmd_build_info`: the Prometheus idiom for joining run identity
+    // onto any other series — a constant-1 gauge whose labels carry the
+    // version, config digest, and counter source.
+    let source_name = config.collector.source.to_string();
+    guard
+        .registry()
+        .gauge_with(
+            "build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("config_digest", &config_digest(config)),
+                ("source", &source_name),
+            ],
+        )
+        .set(1);
+
+    // Flight recorder: per-shard rings shared between the fleet's hot
+    // path (writer) and the debug endpoints (trigger/drain).
+    let recorder = if options.record_ring > 0 {
+        let mut hub = RecorderHub::new(options.shards, options.record_ring)
+            .with_manifest_json(manifest.to_json())
+            .with_families(AppClass::ALL.iter().map(|c| c.name().to_owned()).collect());
+        if let Some(dir) = &options.bundle_dir {
+            hub = hub.with_bundle_dir(dir);
+        }
+        Some(Arc::new(hub))
+    } else {
+        None
+    };
+    let debug: Option<serve::DebugHandler> = recorder.as_ref().map(|hub| {
+        let hub = Arc::clone(hub);
+        let handler = move |path: &str| match path {
+            "/debug/recorder" => Some(serve::DebugReply {
+                status: 200,
+                body: hub.stats_json(),
+            }),
+            "/debug/bundle" => {
+                let mut trigger = Trigger::new("http_request");
+                trigger.details = "on-demand bundle via /debug/bundle".to_owned();
+                Some(match hub.trigger(&trigger) {
+                    Ok(Some(outcome)) => serve::DebugReply {
+                        status: 200,
+                        body: format!(
+                            "{{\"bundle\": {}, \"events\": {}}}\n",
+                            json::string(&outcome.path.display().to_string()),
+                            outcome.events
+                        ),
+                    },
+                    Ok(None) => serve::DebugReply {
+                        status: 503,
+                        body: "{\"error\": \"no bundle directory configured or bundle cap reached\"}\n"
+                            .to_owned(),
+                    },
+                    Err(e) => serve::DebugReply {
+                        status: 500,
+                        body: format!("{{\"error\": {}}}\n", json::string(&e.to_string())),
+                    },
+                })
+            }
+            _ => None,
+        };
+        Arc::new(handler) as serve::DebugHandler
+    });
     let server = serve::serve(
         &options.addr,
         serve::ServeContext {
@@ -603,12 +697,24 @@ fn run_monitor(
             manifest_json: manifest.to_json(),
             health: None,
             fleet: Some(Arc::clone(&fleet_health)),
+            debug,
         },
     )?;
     eprintln!(
         "serve: http://{} — /metrics (Prometheus 0.0.4), /healthz, /readyz, /manifest",
         server.local_addr()
     );
+    if let Some(hub) = &recorder {
+        eprintln!(
+            "serve: flight recorder on — {} slots x {} shards, bundles to {} (/debug/recorder, /debug/bundle)",
+            options.record_ring,
+            hub.shards(),
+            options
+                .bundle_dir
+                .as_ref()
+                .map_or("(disabled)".to_owned(), |d| d.display().to_string()),
+        );
+    }
     eprintln!(
         "serve: fleet of {} streams across {} shards",
         options.streams, options.shards
@@ -665,6 +771,7 @@ fn run_monitor(
         fleet_health: Some(Arc::clone(&fleet_health)),
         capture_verdicts: false,
         verbose: true,
+        recorder: recorder.clone(),
         ..fleet::FleetConfig::lossless(options.streams, options.shards, options.windows_limit)
     };
     // Bridge the process-wide SIGINT flag into the fleet's stop flag.
@@ -1050,6 +1157,67 @@ fn run_chaos(
         "healthy neighbors' verdicts are untouched by the quarantine",
     );
 
+    // Drill 8: the flight recorder under fire. Re-run the NaN burst
+    // with a recorder attached: the breaker trip must freeze the ring
+    // into a checksummed bundle whose last recorded window is exactly
+    // the window that tripped the breaker.
+    let bundle_root = dir.join("bundles");
+    let _ = std::fs::remove_dir_all(&bundle_root);
+    let hub = Arc::new(
+        RecorderHub::new(1, 512)
+            .with_bundle_dir(&bundle_root)
+            .with_deterministic(true)
+            .with_families(AppClass::ALL.iter().map(|c| c.name().to_owned()).collect()),
+    );
+    let recorded = resilience::run_pipeline(
+        &monitor,
+        sampler,
+        &resilience::PipelineConfig {
+            nan_burst: Some(burst),
+            recorder: Some(Arc::clone(&hub)),
+            ..resilience::PipelineConfig::lossless(windows)
+        },
+    )?;
+    check(
+        recorded.trips >= 1 && hub.bundles_written() >= 1,
+        "breaker trip froze the flight ring into a diagnostic bundle",
+    );
+    let bundle_path = bundle_root.join("bundle-000001-breaker_trip");
+    match read_bundle(&bundle_path) {
+        Ok(bundle) => {
+            let trigger_meta = json::parse(bundle.text("trigger.json")?)?;
+            let trip_cursor = trigger_meta.get("cursor").and_then(json::Value::as_u64);
+            check(
+                trigger_meta.get("reason").and_then(json::Value::as_str) == Some("breaker_trip")
+                    && trip_cursor.is_some(),
+                "bundle trigger metadata names the breaker trip and its window",
+            );
+            let mut last_window_cursor = None;
+            for line in bundle.text("events.jsonl")?.lines() {
+                let event = json::parse(line)?;
+                if event.get("kind").and_then(json::Value::as_str) == Some("window") {
+                    last_window_cursor = event.get("cursor").and_then(json::Value::as_u64);
+                }
+            }
+            check(
+                last_window_cursor.is_some() && last_window_cursor == trip_cursor,
+                "bundle's last recorded window is the one that tripped the breaker",
+            );
+        }
+        Err(e) => {
+            eprintln!("chaos: bundle refused: {e}");
+            check(
+                false,
+                "bundle trigger metadata names the breaker trip and its window",
+            );
+            check(
+                false,
+                "bundle's last recorded window is the one that tripped the breaker",
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&bundle_root);
+
     let _ = std::fs::remove_file(&checkpoint);
     let _ = std::fs::remove_file(&fleet_checkpoint);
     let _ = std::fs::remove_dir(&dir);
@@ -1197,6 +1365,228 @@ fn bench_diff(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `repro bundle-report` — verify a diagnostic bundle's checksums,
+/// then reconstruct the incident timeline on stdout: trigger metadata,
+/// per-ring seqno ranges, event counts by kind, and the recorded tail
+/// of window verdicts, faults, health transitions, and restart
+/// markers. A corrupted bundle is refused with the typed error on
+/// stderr and a nonzero exit.
+fn bundle_report(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        eprintln!("usage: repro bundle-report <bundle-dir>");
+        return ExitCode::FAILURE;
+    };
+    let dir = PathBuf::from(dir);
+    let bundle = match read_bundle(&dir) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("bundle-report: {} refused: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match render_bundle_report(&dir, &bundle) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bundle-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The verified-bundle timeline as one printable string. Errors only
+/// on malformed JSON inside an already checksum-verified bundle.
+fn render_bundle_report(
+    dir: &std::path::Path,
+    bundle: &hbmd_obs::recorder::Bundle,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Diagnostic bundle {}", dir.display());
+    let _ = writeln!(out, "\n## Verified files");
+    for entry in &bundle.entries {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} bytes  fnv1a64={:016x}",
+            entry.name, entry.size, entry.digest
+        );
+    }
+
+    let trigger = json::parse(bundle.text("trigger.json").map_err(|e| e.to_string())?)
+        .map_err(|e| format!("trigger.json: {e}"))?;
+    let opt = |value: Option<&json::Value>| -> String {
+        value
+            .and_then(json::Value::as_u64)
+            .map_or("-".to_owned(), |v| v.to_string())
+    };
+    let _ = writeln!(out, "\n## Trigger");
+    let _ = writeln!(
+        out,
+        "  reason={} shard={} stream={} cursor={}",
+        trigger
+            .get("reason")
+            .and_then(json::Value::as_str)
+            .unwrap_or("?"),
+        opt(trigger.get("shard")),
+        opt(trigger.get("stream")),
+        opt(trigger.get("cursor")),
+    );
+    if let Some(details) = trigger.get("details").and_then(json::Value::as_str) {
+        if !details.is_empty() {
+            let _ = writeln!(out, "  details: {details}");
+        }
+    }
+    if let Some(rings) = trigger.get("rings").and_then(json::Value::as_array) {
+        for ring in rings {
+            let _ = writeln!(
+                out,
+                "  ring shard={}: {} events, seq {}..{}, {} dropped",
+                opt(ring.get("shard")),
+                opt(ring.get("events")),
+                opt(ring.get("first_seq")),
+                opt(ring.get("last_seq")),
+                opt(ring.get("dropped")),
+            );
+        }
+    }
+
+    if let Ok(manifest_text) = bundle.text("manifest.json") {
+        if let Ok(manifest) = json::parse(manifest_text) {
+            let digest = manifest
+                .get("config_digest")
+                .and_then(json::Value::as_u64)
+                .map_or("?".to_owned(), |d| format!("{d:016x}"));
+            let _ = writeln!(
+                out,
+                "\n## Run\n  version={} config_digest={}",
+                manifest
+                    .get("version")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("?"),
+                digest,
+            );
+        }
+    }
+
+    let events_text = bundle.text("events.jsonl").map_err(|e| e.to_string())?;
+    let mut events = Vec::new();
+    for (lineno, line) in events_text.lines().enumerate() {
+        events
+            .push(json::parse(line).map_err(|e| format!("events.jsonl line {}: {e}", lineno + 1))?);
+    }
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for event in &events {
+        let kind = event
+            .get("kind")
+            .and_then(json::Value::as_str)
+            .unwrap_or("?");
+        match counts.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((kind.to_owned(), 1)),
+        }
+    }
+    let _ = writeln!(out, "\n## Events ({} recorded)", events.len());
+    for (kind, n) in &counts {
+        let _ = writeln!(out, "  {kind:<12} {n}");
+    }
+
+    // The incident tail: every non-window marker, then the last 16
+    // recorded windows — enough to see what the verdict stream was
+    // doing when the trigger fired.
+    let _ = writeln!(out, "\n## Timeline tail");
+    let describe = |event: &json::Value| -> String {
+        let kind = event
+            .get("kind")
+            .and_then(json::Value::as_str)
+            .unwrap_or("?");
+        let head = format!(
+            "  seq={:>6} shard={} {kind:<10}",
+            opt(event.get("seq")),
+            opt(event.get("shard")),
+        );
+        match kind {
+            "window" => format!(
+                "{head} stream={} cursor={} verdict={} family={} votes={}/{} abstained={}",
+                opt(event.get("stream")),
+                opt(event.get("cursor")),
+                event
+                    .get("verdict")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("?"),
+                event
+                    .get("family")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("-"),
+                opt(event.get("votes")),
+                opt(event.get("of")),
+                event
+                    .get("abstained")
+                    .and_then(json::Value::as_bool)
+                    .unwrap_or(false),
+            ),
+            "health" => format!(
+                "{head} stream={} cursor={} {} -> {}",
+                opt(event.get("stream")),
+                opt(event.get("cursor")),
+                event
+                    .get("from")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("?"),
+                event.get("to").and_then(json::Value::as_str).unwrap_or("?"),
+            ),
+            "fault" => format!(
+                "{head} stream={} cursor={} fault={}",
+                opt(event.get("stream")),
+                opt(event.get("cursor")),
+                event
+                    .get("fault")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("?"),
+            ),
+            "breaker" => format!(
+                "{head} stream={} cursor={} breaker opened",
+                opt(event.get("stream")),
+                opt(event.get("cursor")),
+            ),
+            "checkpoint" => format!("{head} cursor={}", opt(event.get("cursor"))),
+            "restart" => format!("{head} attempt={}", opt(event.get("attempt"))),
+            _ => head,
+        }
+    };
+    let markers: Vec<&json::Value> = events
+        .iter()
+        .filter(|e| e.get("kind").and_then(json::Value::as_str) != Some("window"))
+        .collect();
+    for marker in &markers {
+        let _ = writeln!(out, "{}", describe(marker));
+    }
+    let windows: Vec<&json::Value> = events
+        .iter()
+        .filter(|e| e.get("kind").and_then(json::Value::as_str) == Some("window"))
+        .collect();
+    let tail = windows.len().saturating_sub(16);
+    if tail > 0 {
+        let _ = writeln!(out, "  ... {tail} earlier window events elided ...");
+    }
+    for window in &windows[tail..] {
+        let _ = writeln!(out, "{}", describe(window));
+    }
+    if let (Some(cursor), Some(last)) = (
+        trigger.get("cursor").and_then(json::Value::as_u64),
+        windows.last(),
+    ) {
+        if last.get("cursor").and_then(json::Value::as_u64) == Some(cursor) {
+            let _ = writeln!(
+                out,
+                "\ntriggering window: cursor={cursor} is the last recorded window"
+            );
+        }
+    }
+    Ok(out)
 }
 
 fn run(

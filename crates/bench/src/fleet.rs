@@ -42,6 +42,10 @@ use hbmd_core::{CoreError, Detector, OnlineVerdict, StreamState};
 use hbmd_events::{FeatureVector, HpcEvent};
 use hbmd_malware::{Sample, SampleId};
 use hbmd_obs::health::{FleetHealth, ServiceState};
+use hbmd_obs::recorder::{
+    Event as RecorderEvent, FaultKind, FeatureFrame, RecorderHub, StandingKind, Trigger,
+    VerdictKind, NO_FAMILY,
+};
 use hbmd_perf::{PerfError, Sampler, SamplerConfig};
 
 use crate::resilience::{PHASES, WINDOWS_PER_SAMPLE};
@@ -161,6 +165,10 @@ pub struct FleetConfig {
     pub capture_verdicts: bool,
     /// Print alarm lines for stream 0 to stderr (live mode).
     pub verbose: bool,
+    /// Per-shard flight recorders plus the bundle-emission policy;
+    /// `None` (the default) records nothing and triggers nothing, so
+    /// the hot path stays byte-identical to the pre-recorder fleet.
+    pub recorder: Option<Arc<RecorderHub>>,
 }
 
 impl FleetConfig {
@@ -188,6 +196,7 @@ impl FleetConfig {
             fleet_health: None,
             capture_verdicts: true,
             verbose: false,
+            recorder: None,
         }
     }
 }
@@ -411,6 +420,19 @@ pub fn run_fleet(
                     eprintln!("fleet: existing checkpoint refused ({refusal}); starting pristine");
                     hbmd_obs::incr("snapshot.refused");
                     initial_refusals += 1;
+                    if let Some(hub) = &cfg.recorder {
+                        hub.record(
+                            0,
+                            &RecorderEvent::Fault {
+                                stream: 0,
+                                cursor: 0,
+                                kind: FaultKind::Refusal,
+                            },
+                        );
+                        let mut trigger = Trigger::new("snapshot_refusal");
+                        trigger.details = format!("{refusal}");
+                        let _ = hub.trigger(&trigger);
+                    }
                 }
             }
         }
@@ -666,6 +688,14 @@ fn shard_supervisor(ctx: ShardCtx, mut cells: Vec<StreamCell>) -> ShardOutcome {
                 )
                 .incr();
                 report.restarts += 1;
+                if let Some(hub) = &ctx.cfg.recorder {
+                    hub.record(
+                        ctx.shard as u32,
+                        &RecorderEvent::Restart {
+                            attempt: report.restarts as u32,
+                        },
+                    );
+                }
                 if report.restarts > u64::from(ctx.cfg.max_restarts) {
                     // Bulkhead: this shard parks, the fleet lives on.
                     eprintln!(
@@ -677,6 +707,13 @@ fn shard_supervisor(ctx: ShardCtx, mut cells: Vec<StreamCell>) -> ShardOutcome {
                     report.gave_up = true;
                     cells = Vec::new();
                     set_shard_state(&ctx, ServiceState::Degraded);
+                    if let Some(hub) = &ctx.cfg.recorder {
+                        let mut trigger = Trigger::new("restart_budget");
+                        trigger.shard = Some(ctx.shard as u32);
+                        trigger.details =
+                            format!("shard gave up after {} restarts", report.restarts);
+                        let _ = hub.trigger(&trigger);
+                    }
                     break false;
                 }
                 let delay = backoff.next_delay_ms();
@@ -748,6 +785,20 @@ fn recover_cells(
                     );
                     hbmd_obs::incr("snapshot.refused");
                     report.refusals += 1;
+                    if let Some(hub) = &ctx.cfg.recorder {
+                        hub.record(
+                            ctx.shard as u32,
+                            &RecorderEvent::Fault {
+                                stream: 0,
+                                cursor: 0,
+                                kind: FaultKind::Refusal,
+                            },
+                        );
+                        let mut trigger = Trigger::new("snapshot_refusal");
+                        trigger.shard = Some(ctx.shard as u32);
+                        trigger.details = format!("{refusal}");
+                        let _ = hub.trigger(&trigger);
+                    }
                 }
             }
         }
@@ -875,6 +926,47 @@ fn shed_with_priority(
     true
 }
 
+/// Maps a stream standing onto the recorder's self-contained code.
+fn standing_kind(standing: StreamStanding) -> StandingKind {
+    match standing {
+        StreamStanding::Active => StandingKind::Active,
+        StreamStanding::Quarantined => StandingKind::Quarantined,
+        StreamStanding::Probation => StandingKind::Probation,
+    }
+}
+
+/// Builds the flight-recorder record for one observed window: the
+/// verdict, vote margin, abstention flag, and the post-sanitize
+/// feature values (a fixed-size stack copy — no allocation).
+pub(crate) fn window_event(
+    stream: u64,
+    cursor: u64,
+    verdict: OnlineVerdict,
+    abstained: bool,
+    window: &FeatureVector,
+) -> RecorderEvent {
+    let (kind, family, votes, of) = match verdict {
+        OnlineVerdict::Warmup => (VerdictKind::Warmup, NO_FAMILY, 0, 0),
+        OnlineVerdict::Clean => (VerdictKind::Clean, NO_FAMILY, 0, 0),
+        OnlineVerdict::Alarm { family, votes, of } => (
+            VerdictKind::Alarm,
+            family.index() as u8,
+            votes as u16,
+            of as u16,
+        ),
+    };
+    RecorderEvent::Window {
+        stream,
+        cursor,
+        verdict: kind,
+        family,
+        votes,
+        of,
+        abstained,
+        features: FeatureFrame::from_slice(window.as_slice()),
+    }
+}
+
 /// Most messages a worker drains from its queue per blocking receive:
 /// one `recv` park/unpark then up to this many windows classified
 /// back-to-back while the producer refills, instead of a channel
@@ -911,6 +1003,16 @@ fn shard_worker(
             // Injected fault: panic exactly once per scheduled cursor, so
             // the post-restart replay of the same cursor runs clean.
             if shared.panic_at.remove(&cursor) {
+                if let Some(hub) = &ctx.cfg.recorder {
+                    hub.record(
+                        ctx.shard as u32,
+                        &RecorderEvent::Fault {
+                            stream: cells[slot].stream,
+                            cursor,
+                            kind: FaultKind::Panic,
+                        },
+                    );
+                }
                 panic!(
                     "chaos: injected worker panic on shard {} at window {cursor}",
                     ctx.shard
@@ -928,6 +1030,16 @@ fn shard_worker(
                 .iter()
                 .any(|&(s, from, to)| s == cell.stream && cursor >= from && cursor < to)
             {
+                if let Some(hub) = &ctx.cfg.recorder {
+                    hub.record(
+                        ctx.shard as u32,
+                        &RecorderEvent::Fault {
+                            stream: cell.stream,
+                            cursor,
+                            kind: FaultKind::Nan,
+                        },
+                    );
+                }
                 FeatureVector::from_slice(&[f64::NAN; HpcEvent::COUNT])
                     .expect("full-width NaN vector")
             } else {
@@ -947,7 +1059,21 @@ fn shard_worker(
                 // Quarantined stream: skip classification, burn one
                 // quarantine tick; the shard's breaker never sees it.
                 shared.quarantine_skipped += 1;
-                cell.health.record(false);
+                let before_standing = cell.health.standing();
+                let after_standing = cell.health.record(false);
+                if let Some(hub) = &ctx.cfg.recorder {
+                    if before_standing != after_standing {
+                        hub.record(
+                            ctx.shard as u32,
+                            &RecorderEvent::Health {
+                                stream: cell.stream,
+                                cursor,
+                                from: standing_kind(before_standing),
+                                to: standing_kind(after_standing),
+                            },
+                        );
+                    }
+                }
                 ctx.hot[slot].store(
                     cell.health.standing() != StreamStanding::Active,
                     Ordering::Relaxed,
@@ -955,8 +1081,27 @@ fn shard_worker(
             } else {
                 let verdict = cell.state.observe(&ctx.detector, &window);
                 let faulted = cell.state.last_window_abstained();
+                if let Some(hub) = &ctx.cfg.recorder {
+                    hub.record(
+                        ctx.shard as u32,
+                        &window_event(cell.stream, cursor, verdict, faulted, &window),
+                    );
+                }
                 let before_standing = cell.health.standing();
                 let after_standing = cell.health.record(faulted);
+                if let Some(hub) = &ctx.cfg.recorder {
+                    if before_standing != after_standing {
+                        hub.record(
+                            ctx.shard as u32,
+                            &RecorderEvent::Health {
+                                stream: cell.stream,
+                                cursor,
+                                from: standing_kind(before_standing),
+                                to: standing_kind(after_standing),
+                            },
+                        );
+                    }
+                }
                 if after_standing == StreamStanding::Quarantined
                     && before_standing != StreamStanding::Quarantined
                 {
@@ -982,6 +1127,20 @@ fn shard_worker(
                     }
                     hbmd_obs::incr("breaker.trips");
                     set_shard_state(ctx, ServiceState::Degraded);
+                    if let Some(hub) = &ctx.cfg.recorder {
+                        hub.record(
+                            ctx.shard as u32,
+                            &RecorderEvent::Breaker {
+                                stream: cell.stream,
+                                cursor,
+                            },
+                        );
+                        let mut trigger = Trigger::new("breaker_trip");
+                        trigger.shard = Some(ctx.shard as u32);
+                        trigger.stream = Some(cell.stream);
+                        trigger.cursor = Some(cursor);
+                        let _ = hub.trigger(&trigger);
+                    }
                 }
                 let alarmed = matches!(verdict, OnlineVerdict::Alarm { .. });
                 ctx.hot[slot].store(
@@ -1023,6 +1182,9 @@ fn shard_worker(
                 shared.since_checkpoint = 0;
                 if let Some(checkpointer) = &ctx.checkpointer {
                     checkpointer.commit(sections_of(&cells));
+                    if let Some(hub) = &ctx.cfg.recorder {
+                        hub.record(ctx.shard as u32, &RecorderEvent::Checkpoint { cursor });
+                    }
                 }
             }
         }

@@ -41,7 +41,10 @@ use hbmd_core::{CoreError, OnlineDetector, OnlineVerdict};
 use hbmd_events::{FeatureVector, HpcEvent};
 use hbmd_malware::{AppClass, Sample, SampleId};
 use hbmd_obs::health::{Health, ServiceState};
+use hbmd_obs::recorder::{Event as RecorderEvent, FaultKind, RecorderHub, Trigger};
 use hbmd_perf::{PerfError, Sampler, SamplerConfig};
+
+use crate::fleet::window_event;
 
 /// Windows per synthetic sample on the serve timeline.
 pub const WINDOWS_PER_SAMPLE: u64 = 16;
@@ -155,6 +158,12 @@ pub struct PipelineConfig {
     pub capture_verdicts: bool,
     /// Print alarm lines to stderr (live mode).
     pub verbose: bool,
+    /// Flight recorder (ring 0 of the hub); `None` records nothing.
+    pub recorder: Option<Arc<RecorderHub>>,
+    /// Also emit a diagnostic bundle when the hysteresis alarm first
+    /// latches (the `alarm_latch` trigger). Off by default — in
+    /// malware-phase workloads alarms are routine, not anomalies.
+    pub bundle_on_alarm: bool,
 }
 
 impl PipelineConfig {
@@ -178,6 +187,8 @@ impl PipelineConfig {
             health: None,
             capture_verdicts: true,
             verbose: false,
+            recorder: None,
+            bundle_on_alarm: false,
         }
     }
 }
@@ -226,6 +237,7 @@ struct Shared {
     processed: u64,
     highest: u64,
     degraded: u64,
+    alarm_latched: bool,
 }
 
 /// Run the supervised pipeline to completion (or interruption).
@@ -260,6 +272,7 @@ pub fn run_pipeline(
         processed: 0,
         highest: 0,
         degraded: 0,
+        alarm_latched: false,
     };
 
     // Resume from a previous run's checkpoint when one is present and
@@ -270,6 +283,19 @@ pub fn run_pipeline(
         InitialState::Refused => {
             refusals += 1;
             hbmd_obs::incr("snapshot.refused");
+            if let Some(hub) = &cfg.recorder {
+                hub.record(
+                    0,
+                    &RecorderEvent::Fault {
+                        stream: 0,
+                        cursor: 0,
+                        kind: FaultKind::Refusal,
+                    },
+                );
+                let mut trigger = Trigger::new("snapshot_refusal");
+                trigger.details = "initial checkpoint refused; starting pristine".to_owned();
+                report_bundle(hub.trigger(&trigger));
+            }
             (pristine.clone(), 0)
         }
     };
@@ -312,7 +338,21 @@ pub fn run_pipeline(
                 }
                 hbmd_obs::incr("supervisor.restarts");
                 restarts += 1;
+                if let Some(hub) = &cfg.recorder {
+                    hub.record(
+                        0,
+                        &RecorderEvent::Restart {
+                            attempt: u32::try_from(restarts).unwrap_or(u32::MAX),
+                        },
+                    );
+                }
                 if restarts > u64::from(cfg.max_restarts) {
+                    if let Some(hub) = &cfg.recorder {
+                        let mut trigger = Trigger::new("restart_budget");
+                        trigger.cursor = Some(crash_point);
+                        trigger.details = format!("supervisor gave up after {restarts} restarts");
+                        report_bundle(hub.trigger(&trigger));
+                    }
                     return Err(CoreError::Config(format!(
                         "supervisor gave up after {restarts} restarts"
                     )));
@@ -330,6 +370,20 @@ pub fn run_pipeline(
                         refusals += 1;
                         hbmd_obs::incr("snapshot.refused");
                         eprintln!("supervisor: checkpoint refused ({reason}); retraining state");
+                        if let Some(hub) = &cfg.recorder {
+                            hub.record(
+                                0,
+                                &RecorderEvent::Fault {
+                                    stream: 0,
+                                    cursor: crash_point,
+                                    kind: FaultKind::Refusal,
+                                },
+                            );
+                            let mut trigger = Trigger::new("snapshot_refusal");
+                            trigger.cursor = Some(crash_point);
+                            trigger.details = format!("checkpoint refused after restart: {reason}");
+                            report_bundle(hub.trigger(&trigger));
+                        }
                         monitor = pristine.clone();
                         cursor = 0;
                     }
@@ -489,10 +543,30 @@ fn worker_loop(
         // Injected fault: panic exactly once per scheduled cursor, so
         // the post-restart replay of the same cursor runs clean.
         if shared.panic_at.remove(&cursor) {
+            if let Some(hub) = &cfg.recorder {
+                hub.record(
+                    0,
+                    &RecorderEvent::Fault {
+                        stream: 0,
+                        cursor,
+                        kind: FaultKind::Panic,
+                    },
+                );
+            }
             panic!("chaos: injected worker panic at window {cursor}");
         }
         let window = match cfg.nan_burst {
             Some((from, to)) if cursor >= from && cursor < to => {
+                if let Some(hub) = &cfg.recorder {
+                    hub.record(
+                        0,
+                        &RecorderEvent::Fault {
+                            stream: 0,
+                            cursor,
+                            kind: FaultKind::Nan,
+                        },
+                    );
+                }
                 FeatureVector::from_slice(&[f64::NAN; HpcEvent::COUNT])
                     .expect("full-width NaN vector")
             }
@@ -511,6 +585,20 @@ fn worker_loop(
         } else {
             let verdict = monitor.observe(&window);
             let faulted = monitor.last_window_abstained();
+            if let Some(hub) = &cfg.recorder {
+                hub.record(0, &window_event(0, cursor, verdict, faulted, &window));
+                if cfg.bundle_on_alarm
+                    && !shared.alarm_latched
+                    && matches!(verdict, OnlineVerdict::Alarm { .. })
+                {
+                    shared.alarm_latched = true;
+                    let mut trigger = Trigger::new("alarm_latch");
+                    trigger.stream = Some(0);
+                    trigger.cursor = Some(cursor);
+                    trigger.details = format!("first alarm verdict at window {cursor}");
+                    report_bundle(hub.trigger(&trigger));
+                }
+            }
             let before = shared.breaker.state();
             let after = shared.breaker.record(faulted);
             if after == BreakerState::Open && before != BreakerState::Open {
@@ -519,6 +607,15 @@ fn worker_loop(
                 }
                 hbmd_obs::incr("breaker.trips");
                 set_health(cfg, ServiceState::Degraded);
+                if let Some(hub) = &cfg.recorder {
+                    hub.record(0, &RecorderEvent::Breaker { stream: 0, cursor });
+                    let mut trigger = Trigger::new("breaker_trip");
+                    trigger.stream = Some(0);
+                    trigger.cursor = Some(cursor);
+                    trigger.details =
+                        format!("circuit breaker opened after abstention at window {cursor}");
+                    report_bundle(hub.trigger(&trigger));
+                }
             }
             if let Some(slot) = shared
                 .verdicts
@@ -557,7 +654,12 @@ fn save_checkpoint(monitor: &OnlineDetector, cursor: u64, cfg: &PipelineConfig) 
     };
     let snap = MonitorSnapshot::new(monitor.clone(), cursor, cfg.config_digest);
     match snapshot::save(&snap, path) {
-        Ok(()) => hbmd_obs::incr("snapshot.saved"),
+        Ok(()) => {
+            hbmd_obs::incr("snapshot.saved");
+            if let Some(hub) = &cfg.recorder {
+                hub.record(0, &RecorderEvent::Checkpoint { cursor });
+            }
+        }
         Err(e) => {
             // A failed checkpoint degrades recovery, not liveness.
             hbmd_obs::incr("snapshot.save_failed");
@@ -569,5 +671,21 @@ fn save_checkpoint(monitor: &OnlineDetector, cursor: u64, cfg: &PipelineConfig) 
 fn set_health(cfg: &PipelineConfig, state: ServiceState) {
     if let Some(health) = &cfg.health {
         health.set_state(state);
+    }
+}
+
+/// Logs the outcome of a trigger-driven bundle emission. A failed
+/// bundle write degrades diagnosability, not liveness.
+fn report_bundle(
+    outcome: Result<Option<hbmd_obs::recorder::BundleOutcome>, hbmd_obs::recorder::BundleError>,
+) {
+    match outcome {
+        Ok(Some(bundle)) => eprintln!(
+            "recorder: wrote diagnostic bundle {} ({} events)",
+            bundle.path.display(),
+            bundle.events
+        ),
+        Ok(None) => {}
+        Err(e) => eprintln!("recorder: bundle write failed: {e}"),
     }
 }

@@ -26,7 +26,13 @@
 //!   long-running monitors,
 //! * [`trace`] — post-hoc analysis of `JsonlSink` logs: span-tree
 //!   reconstruction, per-span self time, aggregate-by-name tables,
-//!   critical paths, and flamegraph collapsed-stack export.
+//!   critical paths, and flamegraph collapsed-stack export,
+//! * [`recorder`] — an always-on per-shard flight recorder
+//!   ([`recorder::FlightRecorder`]): a lock-free fixed-capacity ring
+//!   of compact window/health/fault events, drained into atomic
+//!   FNV-checksummed diagnostic bundles by a [`recorder::RecorderHub`]
+//!   when an anomaly (breaker trip, alarm latch, restart-budget
+//!   exhaustion, snapshot refusal, `/debug/bundle`) triggers.
 //!
 //! # Determinism contract
 //!
@@ -78,6 +84,7 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod prom;
+pub mod recorder;
 pub mod serve;
 pub mod sink;
 pub mod span;

@@ -169,6 +169,7 @@ impl Histogram {
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
+            p999: quantile(0.999),
             buckets: self
                 .buckets
                 .iter()
@@ -360,6 +361,9 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// Exact 99th percentile.
     pub p99: u64,
+    /// Exact 99.9th percentile — fleet tail latency is invisible at
+    /// p99 with thousands of streams.
+    pub p999: u64,
     /// Power-of-two bucket counts by bit length (65 entries), feeding
     /// the Prometheus `_bucket` series.
     pub buckets: Vec<u64>,
@@ -447,7 +451,8 @@ impl MetricsSnapshot {
         push_entries(&mut out, &self.histograms, |h| {
             format!(
                 "{{\"name\": {}, {}\"wall_clock\": {}, \"count\": {}, \"sum\": {}, \
-                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+                 \"p999\": {}}}",
                 json::string(&h.name),
                 labels_json(&h.labels),
                 h.wall_clock,
@@ -457,7 +462,8 @@ impl MetricsSnapshot {
                 h.max,
                 h.p50,
                 h.p95,
-                h.p99
+                h.p99,
+                h.p999
             )
         });
         out.push_str("]\n}");
@@ -514,12 +520,13 @@ impl MetricsSnapshot {
             out.push_str("histograms\n");
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "  {:<width$}  count={} p50={} p95={} p99={} max={}{}\n",
+                    "  {:<width$}  count={} p50={} p95={} p99={} p999={} max={}{}\n",
                     key(&h.name, &h.labels),
                     h.count,
                     h.p50,
                     h.p95,
                     h.p99,
+                    h.p999,
                     h.max,
                     if h.wall_clock { " [wall]" } else { "" }
                 ));
@@ -678,6 +685,9 @@ mod tests {
         let snapshot = registry.snapshot();
         let h = snapshot.histogram("latency", &[]).expect("histogram");
         assert_eq!((h.p50, h.p95, h.p99), (50, 95, 99));
+        // ceil(100 * 0.999) = 100 — the tail rank reaches the largest
+        // observation.
+        assert_eq!(h.p999, 100);
         assert_eq!(h.min, 1);
         assert_eq!(h.max, 100);
         assert_eq!(h.buckets.iter().sum::<u64>(), 100);
@@ -695,6 +705,7 @@ mod tests {
         let h = snapshot.histogram("dup", &[]).expect("histogram");
         assert_eq!((h.p50, h.p95), (7, 7));
         assert_eq!(h.p99, 7); // rank 99 of 100 still lands on the mass
+        assert_eq!(h.p999, 1_000_000); // rank 100 of 100 is the outlier
         assert_eq!(h.max, 1_000_000);
     }
 
@@ -705,5 +716,6 @@ mod tests {
         let snapshot = registry.snapshot();
         let h = snapshot.histogram("h", &[]).expect("histogram");
         assert_eq!((h.count, h.sum, h.min, h.max, h.p50), (0, 0, 0, 0, 0));
+        assert_eq!((h.p95, h.p99, h.p999), (0, 0, 0));
     }
 }

@@ -15,7 +15,10 @@
 //! * histograms render cumulative `_bucket{le="..."}` series over the
 //!   registry's power-of-two buckets (upper bound `2^k - 1` for bit
 //!   length `k`), then `_sum` and `_count`; empty trailing buckets are
-//!   elided, `le="+Inf"` always closes the series.
+//!   elided, `le="+Inf"` always closes the series; each histogram also
+//!   exports a sibling `_quantile{quantile="..."}` gauge family with
+//!   the exact rank-statistic p50/p95/p99/p999 (observed values, not
+//!   bucket-boundary estimates).
 //!
 //! The output is a pure function of the snapshot: stable ordering
 //! (the registry's `BTreeMap` key order), no timestamps.
@@ -69,12 +72,12 @@ fn render_histogram(out: &mut String, headed: &mut BTreeSet<String>, h: &Histogr
         cumulative += n;
         out.push_str(&family);
         out.push_str("_bucket");
-        out.push_str(&render_labels(&h.labels, Some(&le_bound(bits))));
+        out.push_str(&render_labels(&h.labels, Some(("le", &le_bound(bits)))));
         out.push_str(&format!(" {cumulative}\n"));
     }
     out.push_str(&family);
     out.push_str("_bucket");
-    out.push_str(&render_labels(&h.labels, Some("+Inf")));
+    out.push_str(&render_labels(&h.labels, Some(("le", "+Inf"))));
     out.push_str(&format!(" {}\n", h.count));
     out.push_str(&format!(
         "{family}_sum{} {}\n",
@@ -86,6 +89,21 @@ fn render_histogram(out: &mut String, headed: &mut BTreeSet<String>, h: &Histogr
         render_labels(&h.labels, None),
         h.count
     ));
+    // Exact rank-statistic quantiles as a sibling gauge family — the
+    // histogram TYPE cannot carry `quantile` labels, and these values
+    // were actually observed, not estimated from bucket boundaries.
+    let quantiles = format!("{family}_quantile");
+    head(out, headed, &quantiles, &h.name, "gauge");
+    for (q, value) in [
+        ("0.5", h.p50),
+        ("0.95", h.p95),
+        ("0.99", h.p99),
+        ("0.999", h.p999),
+    ] {
+        out.push_str(&quantiles);
+        out.push_str(&render_labels(&h.labels, Some(("quantile", q))));
+        out.push_str(&format!(" {value}\n"));
+    }
 }
 
 /// Upper bound of the bit-length bucket `bits`, as a decimal string.
@@ -106,18 +124,19 @@ fn head(out: &mut String, headed: &mut BTreeSet<String>, family: &str, raw: &str
     }
 }
 
-/// Render a label set, optionally with a trailing `le` label. Empty
-/// sets with no `le` render as nothing (bare metric name).
-fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
-    if labels.is_empty() && le.is_none() {
+/// Render a label set, optionally with a trailing synthetic label
+/// (`le` for buckets, `quantile` for the rank-statistic series).
+/// Empty sets with no extra label render as nothing (bare name).
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
         return String::new();
     }
     let mut parts: Vec<String> = labels
         .iter()
         .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_name(k), escape_label_value(v)))
         .collect();
-    if let Some(le) = le {
-        parts.push(format!("le=\"{le}\""));
+    if let Some((name, value)) = extra {
+        parts.push(format!("{name}=\"{value}\""));
     }
     format!("{{{}}}", parts.join(","))
 }
@@ -239,6 +258,42 @@ mod tests {
         assert!(text.contains("hbmd_window_bytes_count 4\n"));
         // Buckets past the largest observation are elided.
         assert!(!text.contains("le=\"15\""));
+    }
+
+    #[test]
+    fn histograms_export_exact_rank_quantiles_as_a_gauge_family() {
+        let registry = Registry::new();
+        let h = registry.histogram("latency");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let text = render(&registry.snapshot());
+        assert!(text.contains("# TYPE hbmd_latency_quantile gauge\n"));
+        assert!(text.contains("hbmd_latency_quantile{quantile=\"0.5\"} 50\n"));
+        assert!(text.contains("hbmd_latency_quantile{quantile=\"0.95\"} 95\n"));
+        assert!(text.contains("hbmd_latency_quantile{quantile=\"0.99\"} 99\n"));
+        assert!(text.contains("hbmd_latency_quantile{quantile=\"0.999\"} 100\n"));
+    }
+
+    #[test]
+    fn build_info_gauge_renders_with_manifest_labels() {
+        let registry = Registry::new();
+        registry
+            .gauge_with(
+                "build_info",
+                &[
+                    ("version", "0.1.0"),
+                    ("config_digest", "00c0ffee00c0ffee"),
+                    ("source", "sim"),
+                ],
+            )
+            .set(1);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("# TYPE hbmd_build_info gauge\n"));
+        assert!(text.contains(
+            "hbmd_build_info{version=\"0.1.0\",\
+             config_digest=\"00c0ffee00c0ffee\",source=\"sim\"} 1\n"
+        ));
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! A tiny, dependency-free HTTP exposition server for long-running
 //! monitors: `/metrics` (Prometheus text format 0.0.4), `/healthz`
 //! (liveness), `/readyz` (readiness, from the supervisor's
-//! [`Health`]), and `/manifest` (the run's
-//! [`RunManifest`](crate::manifest) JSON).
+//! [`Health`]), `/manifest` (the run's
+//! [`RunManifest`](crate::manifest) JSON), and — when the host wires a
+//! [`DebugHandler`] — `/debug/...` diagnostic endpoints (the fleet
+//! monitor serves `/debug/recorder` ring statistics and
+//! `/debug/bundle` on-demand diagnostic bundles through it).
 //!
 //! This is deliberately not a web framework: one `TcpListener`, one
 //! accept-loop thread, one short-lived thread per connection, HTTP/1.0
@@ -25,6 +28,7 @@
 //!     manifest_json: "{}".to_owned(),
 //!     health: None,
 //!     fleet: None,
+//!     debug: None,
 //! })?;
 //!
 //! let mut stream = std::net::TcpStream::connect(server.local_addr())?;
@@ -48,6 +52,22 @@ use crate::health::{FleetHealth, Health};
 use crate::metrics::Registry;
 use crate::prom;
 
+/// A reply from a [`DebugHandler`]: an HTTP status code plus a JSON
+/// body. Unknown status codes are served as `500`.
+#[derive(Debug, Clone)]
+pub struct DebugReply {
+    /// HTTP status code (200, 404, 500, or 503).
+    pub status: u16,
+    /// JSON response body.
+    pub body: String,
+}
+
+/// Host-provided handler for `/debug/...` paths. Returning `None`
+/// falls through to the server's 404; this keeps the dependency
+/// direction clean — the fleet layer hands its recorder hooks down
+/// instead of `hbmd-obs` reaching up.
+pub type DebugHandler = Arc<dyn Fn(&str) -> Option<DebugReply> + Send + Sync>;
+
 /// What the server exposes: a live registry and a pre-rendered
 /// manifest document.
 #[derive(Clone)]
@@ -64,6 +84,9 @@ pub struct ServeContext {
     /// `health` and `/readyz` reports quorum readiness plus one line
     /// per shard.
     pub fleet: Option<Arc<FleetHealth>>,
+    /// Handler for `/debug/...` paths (`/debug/recorder`,
+    /// `/debug/bundle`); with `None` they 404 like any other path.
+    pub debug: Option<DebugHandler>,
 }
 
 impl std::fmt::Debug for ServeContext {
@@ -286,10 +309,26 @@ fn route(request: &Request, context: &ServeContext) -> (&'static str, &'static s
             "application/json; charset=utf-8",
             context.manifest_json.clone(),
         ),
+        path if path.starts_with("/debug/") => {
+            if let Some(reply) = context.debug.as_ref().and_then(|handler| handler(path)) {
+                let status = match reply.status {
+                    200 => "200 OK",
+                    404 => "404 Not Found",
+                    503 => "503 Service Unavailable",
+                    _ => "500 Internal Server Error",
+                };
+                return (status, "application/json; charset=utf-8", reply.body);
+            }
+            (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; no debug handler for this path\n".to_owned(),
+            )
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /healthz, /readyz, /manifest\n".to_owned(),
+            "not found; try /metrics, /healthz, /readyz, /manifest, /debug/recorder\n".to_owned(),
         ),
     }
 }
@@ -335,6 +374,7 @@ mod tests {
                 manifest_json: "{\"tool\": \"test\"}".to_owned(),
                 health: None,
                 fleet: None,
+                debug: None,
             },
         )
         .expect("bind ephemeral");
@@ -370,6 +410,7 @@ mod tests {
                 manifest_json: "{}".to_owned(),
                 health: None,
                 fleet: None,
+                debug: None,
             },
         )
         .expect("bind");
@@ -389,6 +430,7 @@ mod tests {
                 manifest_json: "{}".to_owned(),
                 health: Some(Arc::clone(&health)),
                 fleet: None,
+                debug: None,
             },
         )
         .expect("bind");
@@ -426,6 +468,7 @@ mod tests {
                 manifest_json: "{}".to_owned(),
                 health: None,
                 fleet: Some(Arc::clone(&fleet)),
+                debug: None,
             },
         )
         .expect("bind");
@@ -461,6 +504,7 @@ mod tests {
                 manifest_json: "{}".to_owned(),
                 health: None,
                 fleet: None,
+                debug: None,
             },
         )
         .expect("bind");
@@ -477,6 +521,7 @@ mod tests {
                 manifest_json: "{}".to_owned(),
                 health: None,
                 fleet: None,
+                debug: None,
             },
         )
         .expect("bind");
@@ -506,6 +551,7 @@ mod tests {
                 manifest_json: "{}".to_owned(),
                 health: None,
                 fleet: None,
+                debug: None,
             },
         )
         .expect("bind");

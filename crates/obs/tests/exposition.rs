@@ -21,6 +21,16 @@ fn deterministic_registry() -> Registry {
         .counter_with("verdict", &[("verdict", "malware")])
         .add(59);
     registry.gauge("collector.threads").set(4);
+    registry
+        .gauge_with(
+            "build_info",
+            &[
+                ("version", "0.1.0"),
+                ("config_digest", "00c0ffee00c0ffee"),
+                ("source", "sim"),
+            ],
+        )
+        .set(1);
     let votes = registry.histogram("online.alarm_votes");
     for value in [3, 3, 4, 4, 4, 0] {
         votes.record(value);
@@ -48,6 +58,61 @@ fn renders_the_committed_golden_exposition() {
 }
 
 #[test]
+fn debug_endpoints_route_through_the_installed_handler() {
+    use hbmd_obs::serve::{DebugHandler, DebugReply};
+    let handler: DebugHandler = Arc::new(|path: &str| match path {
+        "/debug/ping" => Some(DebugReply {
+            status: 200,
+            body: "{\"pong\": true}\n".to_owned(),
+        }),
+        "/debug/busy" => Some(DebugReply {
+            status: 503,
+            body: "{\"error\": \"not ready\"}\n".to_owned(),
+        }),
+        _ => None,
+    });
+    let server = serve(
+        "127.0.0.1:0",
+        ServeContext {
+            registry: Arc::new(deterministic_registry()),
+            manifest_json: "{}".to_owned(),
+            health: None,
+            fleet: None,
+            debug: Some(handler),
+        },
+    )
+    .expect("bind ephemeral port");
+
+    let get = |path: &str| -> String {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    };
+
+    let ok = get("/debug/ping");
+    assert!(ok.starts_with("HTTP/1.0 200 OK"), "{ok}");
+    assert!(
+        ok.contains("Content-Type: application/json; charset=utf-8"),
+        "{ok}"
+    );
+    assert!(ok.ends_with("{\"pong\": true}\n"), "{ok}");
+
+    let busy = get("/debug/busy");
+    assert!(
+        busy.starts_with("HTTP/1.0 503 Service Unavailable"),
+        "{busy}"
+    );
+
+    // A /debug path the handler declines falls through to 404.
+    let missing = get("/debug/unknown");
+    assert!(missing.starts_with("HTTP/1.0 404 Not Found"), "{missing}");
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn metrics_endpoint_parses_line_by_line_over_tcp() {
     let server = serve(
         "127.0.0.1:0",
@@ -56,6 +121,7 @@ fn metrics_endpoint_parses_line_by_line_over_tcp() {
             manifest_json: "{\"tool\": \"exposition-test\"}".to_owned(),
             health: None,
             fleet: None,
+            debug: None,
         },
     )
     .expect("bind ephemeral port");

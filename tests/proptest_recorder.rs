@@ -1,0 +1,83 @@
+//! Property-based tests on the flight recorder: a ring of capacity N
+//! fed M > N events retains exactly the last N in seqno order, and
+//! corrupting any byte of any emitted bundle file — the checksummed
+//! `MANIFEST` included — yields a typed refusal, never a panic.
+
+use hbmd::obs::recorder::{read_bundle, Event, FlightRecorder, RecorderHub, Trigger};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_retains_exactly_the_last_capacity_events(
+        capacity in 1usize..48,
+        overflow in 1u64..96,
+    ) {
+        let ring = FlightRecorder::new(capacity);
+        let total = capacity as u64 + overflow;
+        for cursor in 0..total {
+            let seq = ring
+                .record(&Event::Checkpoint { cursor })
+                .expect("live ring accepts every event");
+            prop_assert_eq!(seq, cursor);
+        }
+        prop_assert_eq!(ring.recorded(), total);
+        let drained = ring.drain();
+        prop_assert_eq!(drained.len(), capacity);
+        // Exactly the last `capacity` events survive, in seqno order,
+        // each still carrying its own payload.
+        for (i, (seq, event)) in drained.iter().enumerate() {
+            let expected = total - capacity as u64 + i as u64;
+            prop_assert_eq!(*seq, expected);
+            prop_assert!(
+                matches!(event, Event::Checkpoint { cursor } if *cursor == expected),
+                "slot {} holds the wrong event",
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn corrupting_any_bundle_byte_is_a_typed_refusal(
+        file_pick in 0usize..1_000,
+        position in 0usize..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let root = std::env::temp_dir().join(format!(
+            "hbmd-bundle-prop-{}-{file_pick}-{position}-{mask}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let hub = RecorderHub::new(1, 8)
+            .with_bundle_dir(&root)
+            .with_deterministic(true);
+        for cursor in 0..8 {
+            hub.record(0, &Event::Checkpoint { cursor });
+        }
+        let outcome = hub
+            .trigger(&Trigger::new("breaker_trip"))
+            .expect("bundle written")
+            .expect("not suppressed");
+        let bundle = read_bundle(&outcome.path).expect("pristine bundle verifies");
+        let mut targets: Vec<String> = bundle.entries.iter().map(|e| e.name.clone()).collect();
+        targets.push("MANIFEST".to_owned());
+        drop(bundle);
+
+        let victim = &targets[file_pick % targets.len()];
+        let path = outcome.path.join(victim);
+        let mut bytes = std::fs::read(&path).expect("bundle file readable");
+        prop_assert!(!bytes.is_empty(), "{} is empty", victim);
+        let at = position % bytes.len();
+        bytes[at] ^= mask;
+        std::fs::write(&path, &bytes).expect("rewrite corrupted file");
+        prop_assert!(
+            read_bundle(&outcome.path).is_err(),
+            "flipping byte {} of {} with mask {:#04x} was accepted",
+            at,
+            victim,
+            mask
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
