@@ -9,7 +9,7 @@
 //!   fig13 fig14 fig15 fig16 fig17 fig18 fig19
 //!   ablate-ensemble ablate-mux ablate-noise ablate-features
 //!   ablate-mlp ablate-prefetch
-//!   roc detect-latency robustness emit-hdl
+//!   roc detect-latency robustness adversarial emit-hdl
 //!   all
 //! ```
 //!
@@ -67,7 +67,8 @@ use hbmd_bench::{
     TextTable,
 };
 use hbmd_core::experiments::{
-    self, binary, ensemble, hardware, latency, multiclass, pca, robustness, roc, ExperimentConfig,
+    self, adversarial, binary, ensemble, hardware, latency, multiclass, pca, robustness, roc,
+    ExperimentConfig,
 };
 use hbmd_core::snapshot::{self, SnapshotError};
 use hbmd_core::{
@@ -316,7 +317,7 @@ fn print_usage() {
          experiments: table1 table2 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
          \x20            fig15 fig16 fig17 fig18 fig19 ablate-ensemble ablate-mux\n\
          \x20            ablate-noise ablate-features ablate-mlp ablate-prefetch\n\
-         \x20            roc detect-latency robustness fleet predict emit-hdl all"
+         \x20            roc detect-latency robustness adversarial fleet predict emit-hdl all"
     );
 }
 
@@ -1597,6 +1598,7 @@ fn run(
     match experiment {
         "fleet" => return Ok(Some(fleet_phase(config, cache)?)),
         "predict" => return Ok(Some(predict_phase(config, cache)?)),
+        "adversarial" => return Ok(Some(adversarial_phase(config, cache)?)),
         "table1" => table1(config, cache),
         "fig6" => fig6(config, cache),
         "table2" => table2(config, cache)?,
@@ -1737,6 +1739,104 @@ fn predict_phase(
     }
     print!("{}", table.render());
     Ok(best)
+}
+
+/// The `adversarial` bench phase: craft plausibility-constrained
+/// evasion attacks against each trained detector, score the same
+/// crafted windows under every defense (clean / retrained /
+/// ensemble-disagreement), and measure end-to-end detection against
+/// behaviour-level camouflage catalogs. All tables and the per-scheme
+/// summary lines are deterministic (stdout); the attack throughput
+/// goes to stderr and into `BENCH_repro.json` as `windows_per_sec`,
+/// where `repro bench-diff` gates the phase's wall-clock.
+fn adversarial_phase(
+    config: &ExperimentConfig,
+    cache: &CollectCache,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    println!("## Adversarial: accuracy under attack, clean vs defended");
+    println!("(gradient-free evasion inside a benign plausibility envelope; arXiv:2005.03644 threat model)");
+    let schemes = [ClassifierKind::J48, ClassifierKind::RandomForest];
+    let budgets = [0.05, 0.1, 0.2, 0.4];
+    let started = Instant::now();
+    let rows = adversarial::accuracy_under_attack_with(cache, config, &schemes, &budgets)?;
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut table = TextTable::new(vec![
+        "budget",
+        "classifier",
+        "defense",
+        "baseline",
+        "detection",
+        "evasion",
+        "mean L1",
+        "iters",
+        "windows",
+        "susp trips",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            pct(row.budget),
+            row.scheme.to_string(),
+            row.defense.to_string(),
+            pct(row.baseline_detection),
+            pct(row.detection_rate),
+            pct(row.evasion_rate),
+            format!("{:.1}", row.mean_l1),
+            format!("{:.1}", row.mean_iterations),
+            row.windows.to_string(),
+            row.suspicion_trips.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // One machine-parseable verdict line per scheme at the heaviest
+    // budget — the CI smoke gate asserts on these.
+    let top_budget = budgets[budgets.len() - 1];
+    for scheme in schemes {
+        let at_top: Vec<&adversarial::AdversarialRow> = rows
+            .iter()
+            .filter(|r| r.scheme == scheme && r.budget == top_budget)
+            .collect();
+        let clean = at_top
+            .iter()
+            .find(|r| r.defense == adversarial::DefenseKind::Clean)
+            .ok_or("missing clean defense row")?;
+        let defended = at_top
+            .iter()
+            .filter(|r| r.defense != adversarial::DefenseKind::Clean)
+            .map(|r| r.evasion_rate)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "adversarial: scheme={scheme} budget={top_budget} clean_evasion={:.4} defended_evasion={defended:.4}",
+            clean.evasion_rate,
+        );
+    }
+
+    println!();
+    println!("### Behaviour-level camouflage (evasive catalog variants)");
+    let tactic_rows = adversarial::camouflage_sweep_with(cache, config, &schemes)?;
+    let mut camo = TextTable::new(vec!["tactic", "classifier", "detection", "windows"]);
+    for row in &tactic_rows {
+        camo.row(vec![
+            row.tactic.clone(),
+            row.scheme.to_string(),
+            pct(row.detection_rate),
+            row.windows.to_string(),
+        ]);
+    }
+    print!("{}", camo.render());
+
+    let attacked: usize = rows
+        .iter()
+        .filter(|r| r.defense == adversarial::DefenseKind::Clean)
+        .map(|r| r.windows)
+        .sum();
+    let rate = attacked as f64 / elapsed.max(1e-9);
+    eprintln!(
+        "adversarial: {rate:.0} attacked windows/sec over {} sweep cells ({attacked} windows)",
+        rows.len() / adversarial::DefenseKind::ALL.len(),
+    );
+    Ok(rate)
 }
 
 fn table1(config: &ExperimentConfig, cache: &CollectCache) {

@@ -238,6 +238,7 @@ struct Shared {
     highest: u64,
     degraded: u64,
     alarm_latched: bool,
+    suspicion_latched: bool,
 }
 
 /// Run the supervised pipeline to completion (or interruption).
@@ -273,6 +274,7 @@ pub fn run_pipeline(
         highest: 0,
         degraded: 0,
         alarm_latched: false,
+        suspicion_latched: false,
     };
 
     // Resume from a previous run's checkpoint when one is present and
@@ -585,8 +587,41 @@ fn worker_loop(
         } else {
             let verdict = monitor.observe(&window);
             let faulted = monitor.last_window_abstained();
+            let suspicious = monitor.last_window_suspicious();
             if let Some(hub) = &cfg.recorder {
                 hub.record(0, &window_event(0, cursor, verdict, faulted, &window));
+                if suspicious {
+                    let dispersion = monitor
+                        .detector()
+                        .suspicion(&window)
+                        .unwrap_or(0.0)
+                        .clamp(0.0, 1.0);
+                    let threshold = monitor
+                        .state()
+                        .suspicion_threshold()
+                        .unwrap_or(0.0)
+                        .clamp(0.0, 1.0);
+                    hub.record(
+                        0,
+                        &RecorderEvent::Disagreement {
+                            stream: 0,
+                            cursor,
+                            dispersion_permille: (dispersion * 1000.0).round() as u16,
+                            threshold_permille: (threshold * 1000.0).round() as u16,
+                        },
+                    );
+                    if cfg.bundle_on_alarm && !shared.suspicion_latched {
+                        shared.suspicion_latched = true;
+                        let mut trigger = Trigger::new("attack_evasion");
+                        trigger.stream = Some(0);
+                        trigger.cursor = Some(cursor);
+                        trigger.details = format!(
+                            "ensemble disagreement {dispersion:.3} crossed the \
+                             evasion-alarm threshold at window {cursor}"
+                        );
+                        report_bundle(hub.trigger(&trigger));
+                    }
+                }
                 if cfg.bundle_on_alarm
                     && !shared.alarm_latched
                     && matches!(verdict, OnlineVerdict::Alarm { .. })

@@ -336,6 +336,69 @@ impl Detector {
         verdict
     }
 
+    /// Project `window` into the model's input columns.
+    fn project(&self, window: &FeatureVector) -> Vec<f64> {
+        self.feature_indices
+            .iter()
+            .map(|&i| window.as_slice()[i])
+            .collect()
+    }
+
+    /// Malice score of one window in `[0, 1]` — the oracle an evasion
+    /// attack descends, consistent with [`Detector::classify`]: the
+    /// window reads as malware exactly when the score exceeds `0.5`.
+    ///
+    /// Committees report their malicious vote share (fraction of member
+    /// votes, or weight mass, not cast for class 0 = benign), a graded
+    /// landscape. Single-model schemes degrade to the 0/1 landscape of
+    /// their verdict.
+    pub fn malice_score(&self, window: &FeatureVector) -> f64 {
+        let row = self.project(window);
+        match &self.compiled {
+            Some(CompiledModel::Forest(f)) => {
+                let votes = f.class_votes(&row);
+                let total: u32 = votes.iter().sum();
+                if total == 0 {
+                    return 0.0;
+                }
+                f64::from(total - votes[0]) / f64::from(total)
+            }
+            Some(CompiledModel::Ensemble(e)) => {
+                let votes = e.class_weights(&row);
+                let total: f64 = votes.iter().sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                (total - votes[0]) / total
+            }
+            _ => {
+                let label = match &self.compiled {
+                    Some(compiled) => compiled.predict(&row),
+                    None => self.model.predict(&row),
+                };
+                if label == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Committee disagreement on one window — the ensemble-dispersion
+    /// defense signal: `Some(1 − winning vote share)` for committee
+    /// schemes (RandomForest / Bagging / AdaBoost), `None` for
+    /// single-model schemes, which have no committee to disagree.
+    ///
+    /// An adversarial window pushed *just* across the decision boundary
+    /// flips the majority but leaves a near-even vote split behind;
+    /// high dispersion on a benign-voted window is therefore suspicious
+    /// even though the verdict reads clean.
+    pub fn suspicion(&self, window: &FeatureVector) -> Option<f64> {
+        let row = self.project(window);
+        self.compiled.as_ref()?.disagreement(&row)
+    }
+
     /// Synthesise the detector to hardware.
     ///
     /// # Errors
@@ -526,6 +589,45 @@ mod tests {
         assert_eq!(detector.classify_sanitized(&garbage), Verdict::Abstain);
         // The raw path still never abstains (back-compat contract).
         assert!(!detector.classify(&garbage).is_abstain());
+    }
+
+    #[test]
+    fn malice_score_agrees_with_the_verdict() {
+        let data = dataset();
+        for kind in [ClassifierKind::J48, ClassifierKind::RandomForest] {
+            let detector = DetectorBuilder::new()
+                .classifier(kind)
+                .train_binary(&data)
+                .expect("train");
+            for row in data.rows().iter().take(40) {
+                let score = detector.malice_score(&row.features);
+                assert!((0.0..=1.0).contains(&score), "{kind:?} score {score}");
+                assert_eq!(
+                    detector.classify(&row.features).is_malware(),
+                    score > 0.5,
+                    "{kind:?} verdict disagrees with score {score}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suspicion_is_committee_only_and_bounded() {
+        let data = dataset();
+        let tree = DetectorBuilder::new()
+            .classifier(ClassifierKind::J48)
+            .train_binary(&data)
+            .expect("train");
+        assert_eq!(tree.suspicion(&data.rows()[0].features), None);
+
+        let forest = DetectorBuilder::new()
+            .classifier(ClassifierKind::RandomForest)
+            .train_binary(&data)
+            .expect("train");
+        for row in data.rows().iter().take(40) {
+            let s = forest.suspicion(&row.features).expect("committee");
+            assert!((0.0..=0.5).contains(&s), "binary dispersion {s}");
+        }
     }
 
     #[test]

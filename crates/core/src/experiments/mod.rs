@@ -21,7 +21,9 @@
 //! | ROC extension | [`roc::comparison`] |
 //! | detection-latency extension | [`latency::windows_to_alarm`] |
 //! | robustness extension | [`robustness::degradation_sweep`] |
+//! | adversarial extension | [`adversarial::accuracy_under_attack`], [`adversarial::camouflage_sweep`] |
 
+pub mod adversarial;
 pub mod binary;
 pub mod cache;
 pub mod ensemble;

@@ -46,7 +46,10 @@ pub enum OnlineVerdict {
 /// `online.alarms_cleared` counters, every fed window as
 /// `online.windows_observed`, per-call wall latency as the
 /// `online.observe_ns` timing histogram, and the vote margin of each
-/// alarm decision as the exact `online.alarm_votes` histogram.
+/// alarm decision as the exact `online.alarm_votes` histogram. With a
+/// [suspicion threshold](OnlineDetectorBuilder::suspicion_threshold)
+/// armed, every window whose committee dispersion reaches it counts
+/// into `online.disagreement_trips`.
 ///
 /// # Examples
 ///
@@ -101,6 +104,14 @@ pub struct StreamState {
     clean_streak: usize,
     /// Latched alarm: `(family, votes)` at (or since) raise time.
     latched: Option<(AppClass, usize)>,
+    /// Ensemble-disagreement alarm: flag any window whose committee
+    /// vote dispersion reaches this threshold (`None` disarms — the
+    /// pre-adversarial behaviour, and the only option for single-model
+    /// schemes, which report no dispersion).
+    suspicion_threshold: Option<f64>,
+    /// Whether the most recent window tripped the disagreement alarm
+    /// (transient, like the derived caches — not snapshotted).
+    last_suspicious: bool,
 }
 
 /// Builder for [`OnlineDetector`]: voting window, alarm threshold, and
@@ -116,6 +127,7 @@ pub struct OnlineDetectorBuilder {
     threshold: usize,
     raise_after: usize,
     clear_after: usize,
+    suspicion_threshold: Option<f64>,
 }
 
 impl OnlineDetectorBuilder {
@@ -133,6 +145,7 @@ impl OnlineDetectorBuilder {
             threshold: 3,
             raise_after: 1,
             clear_after: 1,
+            suspicion_threshold: None,
         }
     }
 
@@ -158,6 +171,16 @@ impl OnlineDetectorBuilder {
         self
     }
 
+    /// Arm the ensemble-disagreement alarm: flag any window whose
+    /// committee vote dispersion ([`Detector::suspicion`]) reaches
+    /// `threshold`. Disarmed by default. Only committee schemes
+    /// (RandomForest / Bagging / AdaBoost) produce the signal —
+    /// single-model detectors never trip it.
+    pub fn suspicion_threshold(mut self, threshold: f64) -> OnlineDetectorBuilder {
+        self.suspicion_threshold = Some(threshold);
+        self
+    }
+
     /// Validate and build the monitor.
     ///
     /// # Errors
@@ -180,6 +203,13 @@ impl OnlineDetectorBuilder {
                 "hysteresis counts must be non-zero".to_owned(),
             ));
         }
+        if let Some(t) = self.suspicion_threshold {
+            if !(t.is_finite() && t > 0.0 && t <= 1.0) {
+                return Err(CoreError::Config(format!(
+                    "suspicion threshold {t} is outside (0, 1]"
+                )));
+            }
+        }
         Ok(OnlineDetector {
             detector: self.detector,
             state: StreamState {
@@ -191,6 +221,8 @@ impl OnlineDetectorBuilder {
                 alarm_streak: 0,
                 clean_streak: 0,
                 latched: None,
+                suspicion_threshold: self.suspicion_threshold,
+                last_suspicious: false,
             },
         })
     }
@@ -253,6 +285,15 @@ impl OnlineDetector {
         self.state.last_window_abstained()
     }
 
+    /// `true` when the most recently observed window tripped the
+    /// ensemble-disagreement alarm — the evasion-attempt signal
+    /// supervision layers feed into the flight recorder. Always `false`
+    /// while no [suspicion
+    /// threshold](OnlineDetectorBuilder::suspicion_threshold) is armed.
+    pub fn last_window_suspicious(&self) -> bool {
+        self.state.last_window_suspicious()
+    }
+
     /// Feed one sampling window; returns the aggregated decision.
     pub fn observe(&mut self, window: &FeatureVector) -> OnlineVerdict {
         self.state.observe(&self.detector, window)
@@ -309,7 +350,26 @@ impl StreamState {
             alarm_streak: 0,
             clean_streak: 0,
             latched: None,
+            suspicion_threshold: None,
+            last_suspicious: false,
         })
+    }
+
+    /// Arm the ensemble-disagreement alarm on this stream (see
+    /// [`OnlineDetectorBuilder::suspicion_threshold`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when `threshold` is outside
+    /// `(0, 1]`.
+    pub fn with_suspicion_threshold(mut self, threshold: f64) -> Result<StreamState, CoreError> {
+        if !(threshold.is_finite() && threshold > 0.0 && threshold <= 1.0) {
+            return Err(CoreError::Config(format!(
+                "suspicion threshold {threshold} is outside (0, 1]"
+            )));
+        }
+        self.suspicion_threshold = Some(threshold);
+        Ok(self)
     }
 
     /// The voting-window size.
@@ -327,11 +387,31 @@ impl StreamState {
         self.history.back().is_some_and(|v| v.is_abstain())
     }
 
+    /// `true` when the most recently observed window tripped the
+    /// ensemble-disagreement alarm.
+    pub fn last_window_suspicious(&self) -> bool {
+        self.last_suspicious
+    }
+
+    /// The armed disagreement threshold, if any.
+    pub fn suspicion_threshold(&self) -> Option<f64> {
+        self.suspicion_threshold
+    }
+
     /// Feed one sampling window through `detector`; returns the
     /// aggregated decision for this stream.
     pub fn observe(&mut self, detector: &Detector, window: &FeatureVector) -> OnlineVerdict {
         let _latency = hbmd_obs::timer("online.observe_ns");
         hbmd_obs::incr("online.windows_observed");
+        self.last_suspicious = false;
+        if let Some(limit) = self.suspicion_threshold {
+            if let Some(dispersion) = detector.suspicion(window) {
+                if dispersion >= limit {
+                    self.last_suspicious = true;
+                    hbmd_obs::incr("online.disagreement_trips");
+                }
+            }
+        }
         let verdict = detector.classify_sanitized(window);
         if self.history.len() == self.window {
             self.history.pop_front();
@@ -439,14 +519,16 @@ impl StreamState {
         self.alarm_streak = 0;
         self.clean_streak = 0;
         self.latched = None;
+        self.last_suspicious = false;
     }
 }
 
 use hbmd_ml::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
-/// The stream-only half of the snapshot layout — exactly the bytes
-/// the v1 [`OnlineDetector`] encoding wrote after the detector, so the
-/// monitor codec composes `detector.snap` + `state.snap` unchanged.
+/// The stream-only half of the snapshot layout — the bytes the v1
+/// [`OnlineDetector`] encoding wrote after the detector (so the
+/// monitor codec composes `detector.snap` + `state.snap` unchanged),
+/// followed by the v2 disagreement-alarm tail.
 impl Snap for StreamState {
     fn snap(&self, w: &mut SnapWriter) {
         self.window.snap(w);
@@ -465,6 +547,15 @@ impl Snap for StreamState {
                 w.put_u8(1);
                 w.put_u8(family.index() as u8);
                 votes.snap(w);
+            }
+        }
+        // v2 tail: the disagreement-alarm arm state. `last_suspicious`
+        // is transient and rebuilt at the next observe, not encoded.
+        match self.suspicion_threshold {
+            None => w.put_u8(0),
+            Some(t) => {
+                w.put_u8(1);
+                t.snap(w);
             }
         }
     }
@@ -505,6 +596,19 @@ impl Snap for StreamState {
             }
             other => return Err(SnapError::Invalid(format!("latch tag {other}"))),
         };
+        let suspicion_threshold = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let t: f64 = Snap::unsnap(r)?;
+                if !(t.is_finite() && t > 0.0 && t <= 1.0) {
+                    return Err(SnapError::Invalid(format!(
+                        "suspicion threshold {t} is outside (0, 1]"
+                    )));
+                }
+                Some(t)
+            }
+            other => return Err(SnapError::Invalid(format!("suspicion tag {other}"))),
+        };
         Ok(StreamState {
             window,
             threshold,
@@ -514,6 +618,8 @@ impl Snap for StreamState {
             alarm_streak,
             clean_streak,
             latched,
+            suspicion_threshold,
+            last_suspicious: false,
         })
     }
 }
@@ -717,6 +823,61 @@ mod tests {
         online.reset();
         assert_eq!(online.decision(), OnlineVerdict::Warmup);
         assert_eq!(online.abstentions(), 0);
+    }
+
+    #[test]
+    fn suspicion_threshold_trips_only_for_committees() {
+        use hbmd_ml::snap::Snap;
+        let catalog = SampleCatalog::scaled(0.03, 17);
+        let dataset = Collector::new(CollectorConfig::fast())
+            .expect("config")
+            .collect(&catalog)
+            .expect("collect")
+            .dataset;
+
+        // A single-tree detector never produces the signal.
+        let mut tree = OnlineDetector::builder(trained())
+            .suspicion_threshold(0.1)
+            .build()
+            .expect("valid monitor");
+        for row in dataset.rows().iter().take(20) {
+            tree.observe(&row.features);
+            assert!(!tree.last_window_suspicious(), "trees have no committee");
+        }
+
+        // A forest with an absurdly low threshold trips on real data.
+        let forest = DetectorBuilder::new()
+            .classifier(ClassifierKind::RandomForest)
+            .train_binary(&dataset)
+            .expect("train");
+        let mut online = OnlineDetector::builder(forest)
+            .suspicion_threshold(0.01)
+            .build()
+            .expect("valid monitor");
+        let mut trips = 0;
+        for row in dataset.rows().iter().take(60) {
+            online.observe(&row.features);
+            trips += usize::from(online.last_window_suspicious());
+        }
+        assert!(trips > 0, "no window reached dispersion 0.01 in 60");
+
+        // The armed threshold survives a snapshot roundtrip.
+        let mut w = hbmd_ml::snap::SnapWriter::new();
+        online.state().snap(&mut w);
+        let bytes = w.into_bytes();
+        let restored =
+            StreamState::unsnap(&mut hbmd_ml::snap::SnapReader::new(&bytes)).expect("roundtrip");
+        assert_eq!(restored.suspicion_threshold(), Some(0.01));
+
+        // Out-of-range thresholds are rejected.
+        assert!(OnlineDetector::builder(trained())
+            .suspicion_threshold(0.0)
+            .build()
+            .is_err());
+        assert!(OnlineDetector::builder(trained())
+            .suspicion_threshold(f64::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]

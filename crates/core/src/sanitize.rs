@@ -12,7 +12,11 @@
 //! * a window with few invalid values is **repaired** by median
 //!   imputation (the training median of each bad column),
 //! * a window that is mostly garbage is **unusable** — the detector
-//!   [abstains](crate::Verdict::Abstain) instead of guessing.
+//!   [abstains](crate::Verdict::Abstain) instead of guessing,
+//! * a window whose values are individually plausible but *jointly*
+//!   absurd — grossly displaced from the training distribution by a
+//!   Mahalanobis-style RMS z-score margin — is also **unusable**: an
+//!   adversarially shifted window should abstain, not classify.
 
 use hbmd_events::{FeatureVector, HpcEvent};
 use hbmd_perf::HpcDataset;
@@ -23,6 +27,14 @@ use serde::{Deserialize, Serialize};
 /// the training set, saturated counters run *orders of magnitude*
 /// hotter.
 const RANGE_SLACK: f64 = 8.0;
+
+/// Default Mahalanobis-style outlier margin: a window whose RMS
+/// z-score against the per-column training `(mean, std)` reaches this
+/// is abstained on even though every value is individually in range.
+/// Deliberately generous — legitimate unseen workloads sit within a
+/// few σ of training; a window this far out is either a saturating
+/// fault the per-column ceilings missed or an adversarial shift.
+const OUTLIER_MARGIN: f64 = 16.0;
 
 /// What screening one window produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,8 +103,16 @@ pub struct Sanitizer {
     /// Per-column ceiling: training max × [`RANGE_SLACK`]; infinite for
     /// columns with no finite training data.
     ceilings: Vec<f64>,
+    /// Per-column training mean (outlier screening).
+    means: Vec<f64>,
+    /// Per-column training standard deviation; non-finite or zero
+    /// excludes the column from outlier screening.
+    stds: Vec<f64>,
     /// Invalid columns tolerated before the window is unusable.
     max_repair: usize,
+    /// RMS z-score at which a finite, in-range window still abstains
+    /// ([`OUTLIER_MARGIN`] by default; `+inf` disables).
+    outlier_margin: f64,
 }
 
 impl Sanitizer {
@@ -102,6 +122,8 @@ impl Sanitizer {
     pub fn fit(dataset: &HpcDataset) -> Sanitizer {
         let mut medians = Vec::with_capacity(HpcEvent::COUNT);
         let mut ceilings = Vec::with_capacity(HpcEvent::COUNT);
+        let mut means = Vec::with_capacity(HpcEvent::COUNT);
+        let mut stds = Vec::with_capacity(HpcEvent::COUNT);
         for j in 0..HpcEvent::COUNT {
             let mut finite: Vec<f64> = dataset
                 .rows()
@@ -112,6 +134,8 @@ impl Sanitizer {
             if finite.is_empty() {
                 medians.push(0.0);
                 ceilings.push(f64::INFINITY);
+                means.push(0.0);
+                stds.push(f64::INFINITY);
                 continue;
             }
             finite.sort_by(|a, b| a.total_cmp(b));
@@ -123,11 +147,19 @@ impl Sanitizer {
             };
             medians.push(median);
             ceilings.push(finite[finite.len() - 1] * RANGE_SLACK);
+            let n = finite.len() as f64;
+            let mean = finite.iter().sum::<f64>() / n;
+            let var = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            means.push(mean);
+            stds.push(var.sqrt());
         }
         Sanitizer {
             medians,
             ceilings,
+            means,
+            stds,
             max_repair: HpcEvent::COUNT / 4,
+            outlier_margin: OUTLIER_MARGIN,
         }
     }
 
@@ -139,6 +171,39 @@ impl Sanitizer {
     pub fn with_max_repair(mut self, max_repair: usize) -> Sanitizer {
         self.max_repair = max_repair.min(HpcEvent::COUNT);
         self
+    }
+
+    /// Override the Mahalanobis-style outlier margin (RMS z-score;
+    /// `f64::INFINITY` disables the screen entirely). Non-finite or
+    /// non-positive margins other than `+inf` also disable it.
+    pub fn with_outlier_margin(mut self, margin: f64) -> Sanitizer {
+        self.outlier_margin = if margin > 0.0 { margin } else { f64::INFINITY };
+        self
+    }
+
+    /// The armed outlier margin (`+inf` when disabled).
+    pub fn outlier_margin(&self) -> f64 {
+        self.outlier_margin
+    }
+
+    /// RMS z-score of a window against the training distribution, over
+    /// the columns with usable spread. `0.0` when no column qualifies.
+    pub fn rms_z(&self, values: &[f64]) -> f64 {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for (j, &v) in values.iter().enumerate().take(self.stds.len()) {
+            let std = self.stds[j];
+            if std > 0.0 && std.is_finite() {
+                let z = (v - self.means[j]) / std;
+                sum += z * z;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            (sum / n as f64).sqrt()
+        }
     }
 
     /// The per-column imputation medians.
@@ -156,6 +221,9 @@ impl Sanitizer {
             .map(|(j, _)| j)
             .collect();
         if invalid.is_empty() {
+            if let Some(outliers) = self.joint_outliers(values) {
+                return SanitizeOutcome::Unusable { invalid: outliers };
+            }
             return SanitizeOutcome::Clean(window.clone());
         }
         if invalid.len() > self.max_repair {
@@ -167,6 +235,11 @@ impl Sanitizer {
         for &j in &invalid {
             repaired[j] = self.medians[j];
         }
+        if let Some(outliers) = self.joint_outliers(&repaired) {
+            return SanitizeOutcome::Unusable {
+                invalid: invalid.len().max(outliers),
+            };
+        }
         SanitizeOutcome::Repaired {
             features: FeatureVector::from_slice(&repaired).expect("same width"),
             repaired: invalid.len(),
@@ -175,6 +248,27 @@ impl Sanitizer {
 
     fn is_valid(&self, column: usize, value: f64) -> bool {
         value.is_finite() && value >= 0.0 && value <= self.ceilings[column]
+    }
+
+    /// When the window's RMS z-score reaches the outlier margin,
+    /// returns how many columns individually exceed it (at least one:
+    /// the RMS is bounded by the max |z|). `None` below the margin.
+    fn joint_outliers(&self, values: &[f64]) -> Option<usize> {
+        if !self.outlier_margin.is_finite() || self.rms_z(values) < self.outlier_margin {
+            return None;
+        }
+        let count = values
+            .iter()
+            .enumerate()
+            .take(self.stds.len())
+            .filter(|&(j, &v)| {
+                let std = self.stds[j];
+                std > 0.0
+                    && std.is_finite()
+                    && ((v - self.means[j]) / std).abs() >= self.outlier_margin
+            })
+            .count();
+        Some(count.max(1))
     }
 }
 
@@ -185,6 +279,10 @@ impl Snap for Sanitizer {
         self.medians.snap(w);
         self.ceilings.snap(w);
         self.max_repair.snap(w);
+        // v2 tail: the outlier screen's training stats and margin.
+        self.means.snap(w);
+        self.stds.snap(w);
+        self.outlier_margin.snap(w);
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         let medians: Vec<f64> = Snap::unsnap(r)?;
@@ -196,10 +294,30 @@ impl Snap for Sanitizer {
                 ceilings.len()
             )));
         }
+        let max_repair = Snap::unsnap(r)?;
+        let means: Vec<f64> = Snap::unsnap(r)?;
+        let stds: Vec<f64> = Snap::unsnap(r)?;
+        if means.len() != medians.len() || stds.len() != medians.len() {
+            return Err(SnapError::Invalid(format!(
+                "sanitizer means/stds length mismatch: {} / {} vs {}",
+                means.len(),
+                stds.len(),
+                medians.len()
+            )));
+        }
+        let outlier_margin: f64 = Snap::unsnap(r)?;
+        if outlier_margin.is_nan() || outlier_margin <= 0.0 {
+            return Err(SnapError::Invalid(format!(
+                "sanitizer outlier margin {outlier_margin} must be positive"
+            )));
+        }
         Ok(Sanitizer {
             medians,
             ceilings,
-            max_repair: Snap::unsnap(r)?,
+            means,
+            stds,
+            max_repair,
+            outlier_margin,
         })
     }
 }
@@ -282,6 +400,53 @@ mod tests {
             sanitizer.sanitize(&window),
             SanitizeOutcome::Clean(_)
         ));
+    }
+
+    #[test]
+    fn adversarially_shifted_windows_abstain() {
+        let (dataset, sanitizer) = fitted();
+        // Every column pushed to 7× its training maximum: individually
+        // below the RANGE_SLACK ceilings (8× max), jointly absurd.
+        let values: Vec<f64> = (0..HpcEvent::COUNT)
+            .map(|j| {
+                dataset
+                    .rows()
+                    .iter()
+                    .map(|r| r.features.as_slice()[j])
+                    .fold(0.0, f64::max)
+                    * 7.0
+            })
+            .collect();
+        let window = FeatureVector::from_slice(&values).expect("16");
+        assert!(
+            sanitizer.rms_z(&values) >= sanitizer.outlier_margin(),
+            "rms z {} under margin {}",
+            sanitizer.rms_z(&values),
+            sanitizer.outlier_margin()
+        );
+        assert!(matches!(
+            sanitizer.sanitize(&window),
+            SanitizeOutcome::Unusable { .. }
+        ));
+        // Disabling the margin restores the pre-screen behaviour.
+        let relaxed = sanitizer.clone().with_outlier_margin(f64::INFINITY);
+        assert!(matches!(
+            relaxed.sanitize(&window),
+            SanitizeOutcome::Clean(_)
+        ));
+    }
+
+    #[test]
+    fn outlier_stats_survive_a_snapshot_roundtrip() {
+        use hbmd_ml::snap::{Snap, SnapReader, SnapWriter};
+        let (_, sanitizer) = fitted();
+        let sanitizer = sanitizer.with_outlier_margin(9.5);
+        let mut w = SnapWriter::new();
+        sanitizer.snap(&mut w);
+        let bytes = w.into_bytes();
+        let restored = Sanitizer::unsnap(&mut SnapReader::new(&bytes)).expect("roundtrip");
+        assert_eq!(restored, sanitizer);
+        assert_eq!(restored.outlier_margin(), 9.5);
     }
 
     #[test]

@@ -369,6 +369,29 @@ impl CompiledForest {
         out
     }
 
+    /// Number of member trees voting in this committee.
+    pub fn members(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Per-class raw vote counts for one window, in class-index order.
+    ///
+    /// Summing the returned counts gives [`CompiledForest::members`];
+    /// [`CompiledForest::predict`] is `first_max` over this vector. The
+    /// vote spread is the raw material for disagreement-based defenses:
+    /// an adversarially perturbed window that barely flips the majority
+    /// leaves a near-even split behind.
+    pub fn class_votes(&self, row: &[f64]) -> Vec<u32> {
+        let mut votes = vec![0u32; self.width];
+        for &root in &self.roots {
+            let class = eval_from(&self.nodes, root, row) as usize;
+            if class < votes.len() {
+                votes[class] += 1;
+            }
+        }
+        votes
+    }
+
     /// Number of flat nodes across all members.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -444,6 +467,24 @@ impl CompiledEnsemble {
         out
     }
 
+    /// Number of weighted members voting in this committee.
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Per-class accumulated vote weight for one window, in class-index
+    /// order — the weighted analogue of [`CompiledForest::class_votes`].
+    pub fn class_weights(&self, row: &[f64]) -> Vec<f64> {
+        let mut votes = vec![0.0f64; self.width];
+        for &(root, alpha) in &self.members {
+            let class = eval_from(&self.nodes, root, row) as usize;
+            if class < votes.len() {
+                votes[class] += alpha;
+            }
+        }
+        votes
+    }
+
     /// Number of flat nodes across all members.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -508,6 +549,32 @@ impl CompiledModel {
             CompiledModel::Rules(r) => r.byte_size(),
             CompiledModel::Forest(f) => f.byte_size(),
             CompiledModel::Ensemble(e) => e.byte_size(),
+        }
+    }
+
+    /// Committee disagreement on one window: `1 − winning share of the
+    /// vote mass`, in `[0, 1 − 1/width]`.
+    ///
+    /// `0.0` means every member (or all the weight) agrees; values near
+    /// `0.5` mean the committee split down the middle — the signature a
+    /// decision-boundary evasion leaves behind. `None` for single-model
+    /// evaluators (trees, rule lists), which have no committee to
+    /// disagree, and for degenerate committees with no vote mass.
+    pub fn disagreement(&self, row: &[f64]) -> Option<f64> {
+        match self {
+            CompiledModel::Tree(_) | CompiledModel::Rules(_) => None,
+            CompiledModel::Forest(f) => {
+                let votes = f.class_votes(row);
+                let total: u32 = votes.iter().sum();
+                let top = votes.iter().copied().max().unwrap_or(0);
+                (total > 0).then(|| 1.0 - f64::from(top) / f64::from(total))
+            }
+            CompiledModel::Ensemble(e) => {
+                let votes = e.class_weights(row);
+                let total: f64 = votes.iter().sum();
+                let top = votes.iter().copied().fold(0.0f64, f64::max);
+                (total > 0.0).then(|| 1.0 - top / total)
+            }
         }
     }
 }
@@ -904,6 +971,61 @@ mod tests {
         assert!(RandomForest::new(4).compile().is_none());
         assert!(Bagging::new(J48::new(), 4).compile().is_none());
         assert!(AdaBoostM1::new(DecisionStump::new(), 4).compile().is_none());
+    }
+
+    #[test]
+    fn committee_vote_accessors_are_consistent_with_predict() -> Result<(), MlError> {
+        let data = two_feature_data()?;
+        let mut forest = RandomForest::new(12);
+        forest.fit(&data)?;
+        let compiled = forest.compile().expect("fitted");
+        for row in probes() {
+            let votes = compiled.class_votes(&row);
+            let total: u32 = votes.iter().sum();
+            assert_eq!(total as usize, compiled.members(), "row {row:?}");
+            assert_eq!(first_max(&votes), compiled.predict(&row), "row {row:?}");
+        }
+
+        let mut boost = AdaBoostM1::new(DecisionStump::new(), 10);
+        boost.fit(&data)?;
+        let compiled = boost.compile().expect("fitted");
+        for row in probes() {
+            let weights = compiled.class_weights(&row);
+            assert_eq!(last_max(&weights), compiled.predict(&row), "row {row:?}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn disagreement_is_bounded_and_committee_only() -> Result<(), MlError> {
+        let data = two_feature_data()?;
+        let mut j48 = J48::new();
+        j48.fit(&data)?;
+        let tree = CompiledModel::Tree(j48.compile().expect("fitted"));
+        assert_eq!(tree.disagreement(&[1.0, 2.0]), None);
+
+        let mut forest = RandomForest::new(12);
+        forest.fit(&data)?;
+        let forest = CompiledModel::Forest(forest.compile().expect("fitted"));
+        let mut boost = AdaBoostM1::new(DecisionStump::new(), 10);
+        boost.fit(&data)?;
+        let boost = CompiledModel::Ensemble(boost.compile().expect("fitted"));
+        for row in probes() {
+            for model in [&forest, &boost] {
+                let d = model.disagreement(&row).expect("committee");
+                assert!((0.0..=0.5).contains(&d), "binary dispersion {d} {row:?}");
+            }
+        }
+        // A unanimous committee region reports zero disagreement.
+        let deep_benign = vec![39.0, 1.0];
+        let votes = match &forest {
+            CompiledModel::Forest(f) => f.class_votes(&deep_benign),
+            _ => unreachable!(),
+        };
+        if votes.iter().filter(|&&v| v > 0).count() == 1 {
+            assert_eq!(forest.disagreement(&deep_benign), Some(0.0));
+        }
+        Ok(())
     }
 
     #[test]

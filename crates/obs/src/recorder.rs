@@ -260,6 +260,19 @@ pub enum Event {
         /// Restart attempt number (1-based).
         attempt: u32,
     },
+    /// The ensemble-disagreement alarm tripped: committee vote
+    /// dispersion on this window crossed the configured threshold
+    /// (a possible adversarial-evasion attempt).
+    Disagreement {
+        /// Monitored stream id.
+        stream: u64,
+        /// Window cursor at the trip.
+        cursor: u64,
+        /// Observed vote dispersion, in permille (0..=1000).
+        dispersion_permille: u16,
+        /// Configured alarm threshold, in permille (0..=1000).
+        threshold_permille: u16,
+    },
 }
 
 const TAG_WINDOW: u64 = 1;
@@ -268,6 +281,7 @@ const TAG_FAULT: u64 = 3;
 const TAG_BREAKER: u64 = 4;
 const TAG_CHECKPOINT: u64 = 5;
 const TAG_RESTART: u64 = 6;
+const TAG_DISAGREEMENT: u64 = 7;
 
 impl Event {
     /// Encodes the event into a fixed word slot. Feature values are
@@ -332,6 +346,17 @@ impl Event {
                 words[0] = TAG_RESTART;
                 words[3] = u64::from(attempt);
             }
+            Event::Disagreement {
+                stream,
+                cursor,
+                dispersion_permille,
+                threshold_permille,
+            } => {
+                words[0] = TAG_DISAGREEMENT;
+                words[1] = stream;
+                words[2] = cursor;
+                words[3] = u64::from(dispersion_permille) | (u64::from(threshold_permille) << 16);
+            }
         }
     }
 
@@ -379,6 +404,12 @@ impl Event {
             TAG_CHECKPOINT => Some(Event::Checkpoint { cursor: words[2] }),
             TAG_RESTART => Some(Event::Restart {
                 attempt: words[3] as u32,
+            }),
+            TAG_DISAGREEMENT => Some(Event::Disagreement {
+                stream: words[1],
+                cursor: words[2],
+                dispersion_permille: (words[3] & 0xffff) as u16,
+                threshold_permille: ((words[3] >> 16) & 0xffff) as u16,
             }),
             _ => None,
         }
@@ -450,6 +481,16 @@ impl Event {
             Event::Restart { attempt } => {
                 format!("{head}, \"kind\": \"restart\", \"attempt\": {attempt}}}")
             }
+            Event::Disagreement {
+                stream,
+                cursor,
+                dispersion_permille,
+                threshold_permille,
+            } => format!(
+                "{head}, \"kind\": \"disagreement\", \"stream\": {stream}, \
+                 \"cursor\": {cursor}, \"dispersion_permille\": {dispersion_permille}, \
+                 \"threshold_permille\": {threshold_permille}}}"
+            ),
         }
     }
 }
@@ -588,7 +629,8 @@ impl FlightRecorder {
 #[derive(Debug, Clone)]
 pub struct Trigger {
     /// Stable trigger reason (`"breaker_trip"`, `"alarm_latch"`,
-    /// `"restart_budget"`, `"snapshot_refusal"`, `"http_request"`).
+    /// `"restart_budget"`, `"snapshot_refusal"`, `"http_request"`,
+    /// `"attack_evasion"`).
     pub reason: String,
     /// Shard that triggered, when known.
     pub shard: Option<u32>,
@@ -1221,6 +1263,12 @@ mod tests {
             },
             Event::Checkpoint { cursor: 20 },
             Event::Restart { attempt: 2 },
+            Event::Disagreement {
+                stream: 3,
+                cursor: 21,
+                dispersion_permille: 437,
+                threshold_permille: 400,
+            },
         ]
     }
 

@@ -35,6 +35,17 @@ fn deterministic_registry() -> Registry {
     for value in [3, 3, 4, 4, 4, 0] {
         votes.record(value);
     }
+    registry.counter("adversarial.attacks").add(512);
+    registry.counter("adversarial.evasions").add(291);
+    registry
+        .counter("adversarial.attack_iterations")
+        .add(61_844);
+    registry.counter("adversarial.suspicion_trips").add(138);
+    registry.counter("online.disagreement_trips").add(17);
+    let spent = registry.histogram("adversarial.l1_permille");
+    for value in [1000, 982, 760, 445, 998, 0, 213] {
+        spent.record(value);
+    }
     registry
 }
 
